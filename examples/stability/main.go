@@ -1,0 +1,38 @@
+// Stability: §4's question — how many vantage points does a trustworthy
+// country ranking need? Downsamples VPs for Germany's national and
+// international views and prints the NDCG curves with the paper's 0.8/0.9
+// thresholds.
+package main
+
+import (
+	"fmt"
+
+	"countryrank"
+)
+
+func main() {
+	p := countryrank.NewPipeline(countryrank.Options{
+		Seed: 1, StubScale: 0.6, VPScale: 0.7,
+	})
+
+	const country = "DE"
+	for _, m := range []countryrank.Metric{countryrank.AHN, countryrank.CCN, countryrank.AHI, countryrank.CCI} {
+		sizes := []int{1, 2, 3, 4, 6, 9, 13, 19, 25, 40, 60, 91}
+		pts := p.Stability(m, country, sizes, 6, 42)
+		fmt.Printf("%s %s:", m, country)
+		reached8, reached9 := 0, 0
+		for _, pt := range pts {
+			fmt.Printf(" %d:%.2f", pt.VPs, pt.MeanNDCG)
+			if reached8 == 0 && pt.MeanNDCG >= 0.8 {
+				reached8 = pt.VPs
+			}
+			if reached9 == 0 && pt.MeanNDCG >= 0.9 {
+				reached9 = pt.VPs
+			}
+		}
+		fmt.Printf("\n  → NDCG≥0.8 with %d VPs, ≥0.9 with %d VPs\n", reached8, reached9)
+	}
+	fmt.Println("\n(§4: the paper reports 9/6 VPs for NDCG≥0.8 and 25/19 for ≥0.9 on")
+	fmt.Println("the real topology; the synthetic world converges faster because its")
+	fmt.Println("AS-level diversity is smaller, but the monotone shape is the same.)")
+}

@@ -1,0 +1,43 @@
+package countryrank
+
+import "testing"
+
+// TestPublicAPI exercises the library exactly as a downstream user would:
+// through the root package only.
+func TestPublicAPI(t *testing.T) {
+	p := NewPipeline(Options{Seed: 3, StubScale: 0.15, VPScale: 0.2})
+
+	au := p.Country("AU")
+	if au.CCI.Len() == 0 || au.CCN.Len() == 0 || au.AHI.Len() == 0 || au.AHN.Len() == 0 {
+		t.Fatal("empty country rankings")
+	}
+	ccg, ahg := p.Global()
+	if ccg.Len() == 0 || ahg.Len() == 0 {
+		t.Fatal("empty global rankings")
+	}
+	if p.AHC("AU").Len() == 0 {
+		t.Fatal("empty AHC")
+	}
+	if p.CTI("AU").Len() == 0 {
+		t.Fatal("empty CTI")
+	}
+	out := p.Outbound("AU")
+	if out.CCO.Len() == 0 || out.AHO.Len() == 0 {
+		t.Fatal("empty outbound rankings")
+	}
+	pts := p.Stability(CCN, "NL", []int{2, 5}, 2, 1)
+	if len(pts) != 2 {
+		t.Fatalf("stability points: %+v", pts)
+	}
+	for _, k := range []ViewKind{National, International, Global, Outbound} {
+		_ = p.ViewRecords(k, "AU") // must not panic
+	}
+	for _, m := range []Metric{CCI, CCN, AHI, AHN, CCG, AHG, AHC, CTI} {
+		if m == "" {
+			t.Error("empty metric name")
+		}
+	}
+	if Apr2021 == Mar2023 {
+		t.Error("scenarios must differ")
+	}
+}

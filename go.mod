@@ -1,0 +1,3 @@
+module countryrank
+
+go 1.22

@@ -1,0 +1,100 @@
+package bgp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"countryrank/internal/asn"
+)
+
+// AttrSet is the subset of BGP path attributes an MRT RIB entry carries for
+// our pipeline: ORIGIN, AS_PATH, and NEXT_HOP. It reuses the UPDATE codec's
+// attribute wire format so MRT dumps and live messages agree byte-for-byte.
+type AttrSet struct {
+	Origin  OriginCode
+	ASPath  ASPath
+	NextHop netip.Addr // optional; zero Addr means absent
+}
+
+// Marshal encodes the attribute set in BGP path-attribute wire format with
+// 4-octet AS numbers.
+func (a AttrSet) Marshal() ([]byte, error) {
+	var b bytes.Buffer
+	b.Write([]byte{flagTransit, attrOrigin, 1, byte(a.Origin)})
+	var pb bytes.Buffer
+	for _, seg := range a.ASPath {
+		if len(seg.ASNs) > 255 {
+			return nil, errors.New("bgp: segment longer than 255 ASNs")
+		}
+		pb.WriteByte(seg.Type)
+		pb.WriteByte(byte(len(seg.ASNs)))
+		for _, x := range seg.ASNs {
+			binary.Write(&pb, binary.BigEndian, uint32(x))
+		}
+	}
+	writeAttr(&b, flagTransit, attrASPath, pb.Bytes())
+	if a.NextHop.IsValid() {
+		if !a.NextHop.Is4() {
+			return nil, errors.New("bgp: AttrSet next hop must be IPv4")
+		}
+		nh := a.NextHop.As4()
+		writeAttr(&b, flagTransit, attrNextHop, nh[:])
+	}
+	return b.Bytes(), nil
+}
+
+// UnmarshalAttrs decodes a path-attribute byte string produced by
+// AttrSet.Marshal (or any BGP speaker emitting the same three attributes).
+// Unknown attributes are skipped.
+func UnmarshalAttrs(b []byte) (AttrSet, error) {
+	var a AttrSet
+	for len(b) > 0 {
+		if len(b) < 3 {
+			return a, errors.New("bgp: truncated attribute header")
+		}
+		flags, code := b[0], b[1]
+		var alen int
+		if flags&flagExtLen != 0 {
+			if len(b) < 4 {
+				return a, errors.New("bgp: truncated extended length")
+			}
+			alen = int(binary.BigEndian.Uint16(b[2:4]))
+			b = b[4:]
+		} else {
+			alen = int(b[2])
+			b = b[3:]
+		}
+		if len(b) < alen {
+			return a, fmt.Errorf("bgp: attribute %d truncated", code)
+		}
+		val := b[:alen]
+		b = b[alen:]
+		switch code {
+		case attrOrigin:
+			if alen != 1 {
+				return a, errors.New("bgp: bad ORIGIN length")
+			}
+			a.Origin = OriginCode(val[0])
+		case attrASPath:
+			ap, err := decodeASPath(val)
+			if err != nil {
+				return a, err
+			}
+			a.ASPath = ap
+		case attrNextHop:
+			if alen != 4 {
+				return a, errors.New("bgp: bad NEXT_HOP length")
+			}
+			a.NextHop = netip.AddrFrom4([4]byte(val))
+		}
+	}
+	return a, nil
+}
+
+// PathOf is a convenience returning the flattened AS path of the set.
+func (a AttrSet) PathOf() Path { return a.ASPath.Flatten() }
+
+var _ = asn.ASN(0) // keep asn import explicit for readers of the wire format

@@ -1,0 +1,216 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"countryrank/internal/asn"
+)
+
+// Open is a decoded BGP OPEN message (RFC 4271 §4.2) with the capabilities
+// the session layer uses: 4-octet AS numbers (RFC 6793) and multiprotocol
+// IPv4 unicast.
+type Open struct {
+	Version  uint8
+	AS       asn.ASN // the true (possibly 4-byte) ASN
+	HoldTime uint16
+	BGPID    netip.Addr
+}
+
+// capability codes
+const (
+	capMultiprotocol = 1
+	capFourOctetAS   = 65
+)
+
+// Marshal encodes the OPEN with its capabilities.
+func (o *Open) Marshal() ([]byte, error) {
+	if !o.BGPID.Is4() {
+		return nil, errors.New("bgp: OPEN requires an IPv4 BGP identifier")
+	}
+	// my-AS field: AS_TRANS when the real ASN does not fit 16 bits.
+	myAS := uint16(asn.ASTrans)
+	if o.AS <= asn.Last16 {
+		myAS = uint16(o.AS)
+	}
+
+	var caps []byte
+	// Multiprotocol IPv4 unicast.
+	caps = append(caps, capMultiprotocol, 4, 0, 1, 0, 1)
+	// 4-octet AS.
+	caps = append(caps, capFourOctetAS, 4)
+	caps = binary.BigEndian.AppendUint32(caps, uint32(o.AS))
+
+	// Optional parameter type 2 = capabilities.
+	optParams := append([]byte{2, byte(len(caps))}, caps...)
+
+	body := make([]byte, 0, 10+len(optParams))
+	version := o.Version
+	if version == 0 {
+		version = 4
+	}
+	body = append(body, version)
+	body = binary.BigEndian.AppendUint16(body, myAS)
+	body = binary.BigEndian.AppendUint16(body, o.HoldTime)
+	id := o.BGPID.As4()
+	body = append(body, id[:]...)
+	body = append(body, byte(len(optParams)))
+	body = append(body, optParams...)
+
+	return wrapMessage(TypeOpen, body)
+}
+
+// wrapMessage prepends the 19-byte header.
+func wrapMessage(msgType byte, body []byte) ([]byte, error) {
+	total := 19 + len(body)
+	if total > 4096 {
+		return nil, fmt.Errorf("bgp: message length %d exceeds 4096", total)
+	}
+	out := make([]byte, 0, total)
+	out = append(out, marker...)
+	out = binary.BigEndian.AppendUint16(out, uint16(total))
+	out = append(out, msgType)
+	out = append(out, body...)
+	return out, nil
+}
+
+// UnmarshalOpen decodes an OPEN message body (without the common header).
+func UnmarshalOpen(body []byte) (*Open, error) {
+	if len(body) < 10 {
+		return nil, errors.New("bgp: truncated OPEN")
+	}
+	o := &Open{
+		Version:  body[0],
+		AS:       asn.ASN(binary.BigEndian.Uint16(body[1:3])),
+		HoldTime: binary.BigEndian.Uint16(body[3:5]),
+		BGPID:    netip.AddrFrom4([4]byte(body[5:9])),
+	}
+	optLen := int(body[9])
+	opts := body[10:]
+	if len(opts) < optLen {
+		return nil, errors.New("bgp: truncated OPEN optional parameters")
+	}
+	opts = opts[:optLen]
+	for len(opts) > 0 {
+		if len(opts) < 2 {
+			return nil, errors.New("bgp: truncated optional parameter")
+		}
+		ptype, plen := opts[0], int(opts[1])
+		if len(opts) < 2+plen {
+			return nil, errors.New("bgp: truncated optional parameter body")
+		}
+		if ptype == 2 { // capabilities
+			caps := opts[2 : 2+plen]
+			for len(caps) > 0 {
+				if len(caps) < 2 {
+					return nil, errors.New("bgp: truncated capability")
+				}
+				code, clen := caps[0], int(caps[1])
+				if len(caps) < 2+clen {
+					return nil, errors.New("bgp: truncated capability body")
+				}
+				if code == capFourOctetAS && clen == 4 {
+					o.AS = asn.ASN(binary.BigEndian.Uint32(caps[2:6]))
+				}
+				caps = caps[2+clen:]
+			}
+		}
+		opts = opts[2+plen:]
+	}
+	return o, nil
+}
+
+// MarshalKeepalive encodes a KEEPALIVE message.
+func MarshalKeepalive() []byte {
+	out, _ := wrapMessage(TypeKeepalive, nil)
+	return out
+}
+
+// Notification is a BGP NOTIFICATION (RFC 4271 §4.5).
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+// Standard notification codes used by the session layer.
+const (
+	NotifMessageHeaderError = 1
+	NotifOpenError          = 2
+	NotifUpdateError        = 3
+	NotifHoldTimerExpired   = 4
+	NotifFSMError           = 5
+	NotifCease              = 6
+)
+
+// Error implements error so a Notification can terminate a session.
+func (n *Notification) Error() string {
+	return fmt.Sprintf("bgp: notification code %d subcode %d", n.Code, n.Subcode)
+}
+
+// Marshal encodes the NOTIFICATION.
+func (n *Notification) Marshal() ([]byte, error) {
+	body := append([]byte{n.Code, n.Subcode}, n.Data...)
+	return wrapMessage(TypeNotification, body)
+}
+
+// UnmarshalNotification decodes a NOTIFICATION body.
+func UnmarshalNotification(body []byte) (*Notification, error) {
+	if len(body) < 2 {
+		return nil, errors.New("bgp: truncated NOTIFICATION")
+	}
+	return &Notification{Code: body[0], Subcode: body[1], Data: append([]byte(nil), body[2:]...)}, nil
+}
+
+// Message is a decoded BGP message of any type.
+type Message struct {
+	Type         byte
+	Open         *Open
+	Update       *Update
+	Notification *Notification
+}
+
+// ReadMessage parses one complete BGP message from buf and returns it with
+// the number of bytes consumed, or (nil, 0, nil) if buf does not yet hold a
+// complete message.
+func ReadMessage(buf []byte) (*Message, int, error) {
+	if len(buf) < 19 {
+		return nil, 0, nil
+	}
+	for i := 0; i < 16; i++ {
+		if buf[i] != 0xFF {
+			return nil, 0, &Notification{Code: NotifMessageHeaderError, Subcode: 1}
+		}
+	}
+	length := int(binary.BigEndian.Uint16(buf[16:18]))
+	if length < 19 || length > 4096 {
+		return nil, 0, &Notification{Code: NotifMessageHeaderError, Subcode: 2}
+	}
+	if len(buf) < length {
+		return nil, 0, nil
+	}
+	msgType := buf[18]
+	body := buf[19:length]
+	m := &Message{Type: msgType}
+	var err error
+	switch msgType {
+	case TypeOpen:
+		m.Open, err = UnmarshalOpen(body)
+	case TypeUpdate:
+		m.Update, err = UnmarshalUpdate(buf[:length])
+	case TypeKeepalive:
+		if len(body) != 0 {
+			err = &Notification{Code: NotifMessageHeaderError, Subcode: 2}
+		}
+	case TypeNotification:
+		m.Notification, err = UnmarshalNotification(body)
+	default:
+		err = &Notification{Code: NotifMessageHeaderError, Subcode: 3}
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, length, nil
+}

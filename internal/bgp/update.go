@@ -1,0 +1,428 @@
+package bgp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"countryrank/internal/asn"
+)
+
+// Message types (RFC 4271 §4.1).
+const (
+	TypeOpen         = 1
+	TypeUpdate       = 2
+	TypeNotification = 3
+	TypeKeepalive    = 4
+)
+
+// Origin attribute codes (RFC 4271 §5.1.1).
+type OriginCode uint8
+
+const (
+	OriginIGP        OriginCode = 0
+	OriginEGP        OriginCode = 1
+	OriginIncomplete OriginCode = 2
+)
+
+// Path attribute type codes used by the codec.
+const (
+	attrOrigin    = 1
+	attrASPath    = 2
+	attrNextHop   = 3
+	attrMED       = 4
+	attrMPReach   = 14
+	attrMPUnreach = 15
+	flagOptional  = 0x80
+	flagTransit   = 0x40
+	flagExtLen    = 0x10
+)
+
+// AS_PATH segment types (RFC 4271 §4.3).
+const (
+	SegmentSet      = 1
+	SegmentSequence = 2
+)
+
+// Segment is one AS_PATH segment.
+type Segment struct {
+	Type uint8
+	ASNs []asn.ASN
+}
+
+// ASPath is the segmented AS_PATH attribute. Paths produced by our simulator
+// are always a single AS_SEQUENCE, but the codec round-trips AS_SETs too.
+type ASPath []Segment
+
+// Flatten returns the path as a flat Path. AS_SET members are appended in
+// order; callers that must treat sets specially should inspect segments.
+func (ap ASPath) Flatten() Path {
+	var out Path
+	for _, s := range ap {
+		out = append(out, s.ASNs...)
+	}
+	return out
+}
+
+// SequencePath wraps a flat path into a single AS_SEQUENCE segment.
+func SequencePath(p Path) ASPath {
+	if len(p) == 0 {
+		return nil
+	}
+	return ASPath{{Type: SegmentSequence, ASNs: p}}
+}
+
+// Update is a decoded BGP UPDATE message. The codec always encodes AS paths
+// as 4-octet ASNs (an "AS4" speaker per RFC 6793).
+type Update struct {
+	Withdrawn []netip.Prefix
+	Origin    OriginCode
+	ASPath    ASPath
+	NextHop   netip.Addr // IPv4 next hop; v6 NLRI uses MP_REACH
+	MED       uint32     // 0 means absent
+	HasMED    bool
+	Announced []netip.Prefix // IPv4 NLRI
+	// V6NextHop and V6Announced carry IPv6 reachability via MP_REACH_NLRI;
+	// V6Withdrawn uses MP_UNREACH_NLRI.
+	V6NextHop   netip.Addr
+	V6Announced []netip.Prefix
+	V6Withdrawn []netip.Prefix
+}
+
+var marker = bytes.Repeat([]byte{0xFF}, 16)
+
+// Marshal encodes the UPDATE with the 19-byte BGP message header.
+func (u *Update) Marshal() ([]byte, error) {
+	var body bytes.Buffer
+
+	wd, err := encodeNLRI(u.Withdrawn)
+	if err != nil {
+		return nil, fmt.Errorf("bgp: withdrawn: %w", err)
+	}
+	binary.Write(&body, binary.BigEndian, uint16(len(wd)))
+	body.Write(wd)
+
+	attrs, err := u.encodeAttrs()
+	if err != nil {
+		return nil, err
+	}
+	binary.Write(&body, binary.BigEndian, uint16(len(attrs)))
+	body.Write(attrs)
+
+	nlri, err := encodeNLRI(u.Announced)
+	if err != nil {
+		return nil, fmt.Errorf("bgp: nlri: %w", err)
+	}
+	body.Write(nlri)
+
+	total := 19 + body.Len()
+	if total > 4096 {
+		return nil, fmt.Errorf("bgp: message length %d exceeds 4096", total)
+	}
+	out := make([]byte, 0, total)
+	out = append(out, marker...)
+	out = binary.BigEndian.AppendUint16(out, uint16(total))
+	out = append(out, TypeUpdate)
+	out = append(out, body.Bytes()...)
+	return out, nil
+}
+
+func (u *Update) encodeAttrs() ([]byte, error) {
+	var b bytes.Buffer
+	if len(u.V6Withdrawn) > 0 {
+		var mp bytes.Buffer
+		binary.Write(&mp, binary.BigEndian, uint16(2)) // AFI IPv6
+		mp.WriteByte(1)                                // SAFI unicast
+		enc, err := encodeNLRI(u.V6Withdrawn)
+		if err != nil {
+			return nil, fmt.Errorf("bgp: v6 withdrawn: %w", err)
+		}
+		mp.Write(enc)
+		writeAttr(&b, flagOptional|flagExtLen, attrMPUnreach, mp.Bytes())
+	}
+	hasReach := len(u.Announced) > 0 || len(u.V6Announced) > 0
+	if hasReach {
+		// ORIGIN
+		b.Write([]byte{flagTransit, attrOrigin, 1, byte(u.Origin)})
+		// AS_PATH (4-octet ASNs)
+		var pb bytes.Buffer
+		for _, seg := range u.ASPath {
+			if len(seg.ASNs) > 255 {
+				return nil, errors.New("bgp: segment longer than 255 ASNs")
+			}
+			pb.WriteByte(seg.Type)
+			pb.WriteByte(byte(len(seg.ASNs)))
+			for _, a := range seg.ASNs {
+				binary.Write(&pb, binary.BigEndian, uint32(a))
+			}
+		}
+		writeAttr(&b, flagTransit, attrASPath, pb.Bytes())
+	}
+	if len(u.Announced) > 0 {
+		if !u.NextHop.Is4() {
+			return nil, errors.New("bgp: IPv4 NLRI requires an IPv4 next hop")
+		}
+		nh := u.NextHop.As4()
+		writeAttr(&b, flagTransit, attrNextHop, nh[:])
+	}
+	if u.HasMED {
+		var mb [4]byte
+		binary.BigEndian.PutUint32(mb[:], u.MED)
+		writeAttr(&b, flagOptional, attrMED, mb[:])
+	}
+	if len(u.V6Announced) > 0 {
+		if !u.V6NextHop.Is6() || u.V6NextHop.Is4() {
+			return nil, errors.New("bgp: IPv6 NLRI requires an IPv6 next hop")
+		}
+		var mp bytes.Buffer
+		binary.Write(&mp, binary.BigEndian, uint16(2)) // AFI IPv6
+		mp.WriteByte(1)                                // SAFI unicast
+		nh := u.V6NextHop.As16()
+		mp.WriteByte(16)
+		mp.Write(nh[:])
+		mp.WriteByte(0) // reserved
+		enc, err := encodeNLRI(u.V6Announced)
+		if err != nil {
+			return nil, fmt.Errorf("bgp: v6 nlri: %w", err)
+		}
+		mp.Write(enc)
+		writeAttr(&b, flagOptional|flagExtLen, attrMPReach, mp.Bytes())
+	}
+	return b.Bytes(), nil
+}
+
+func writeAttr(b *bytes.Buffer, flags, code uint8, val []byte) {
+	if len(val) > 255 {
+		flags |= flagExtLen
+	}
+	b.WriteByte(flags)
+	b.WriteByte(code)
+	if flags&flagExtLen != 0 {
+		binary.Write(b, binary.BigEndian, uint16(len(val)))
+	} else {
+		b.WriteByte(byte(len(val)))
+	}
+	b.Write(val)
+}
+
+// UnmarshalUpdate decodes a full BGP message, which must be an UPDATE.
+func UnmarshalUpdate(data []byte) (*Update, error) {
+	if len(data) < 19 {
+		return nil, errors.New("bgp: message shorter than header")
+	}
+	if !bytes.Equal(data[:16], marker) {
+		return nil, errors.New("bgp: bad marker")
+	}
+	length := binary.BigEndian.Uint16(data[16:18])
+	if int(length) != len(data) {
+		return nil, fmt.Errorf("bgp: header length %d != buffer %d", length, len(data))
+	}
+	if data[18] != TypeUpdate {
+		return nil, fmt.Errorf("bgp: message type %d is not UPDATE", data[18])
+	}
+	body := data[19:]
+	u := &Update{}
+
+	if len(body) < 2 {
+		return nil, errors.New("bgp: truncated withdrawn length")
+	}
+	wdLen := int(binary.BigEndian.Uint16(body))
+	body = body[2:]
+	if len(body) < wdLen {
+		return nil, errors.New("bgp: truncated withdrawn routes")
+	}
+	var err error
+	u.Withdrawn, err = decodeNLRI(body[:wdLen], false)
+	if err != nil {
+		return nil, fmt.Errorf("bgp: withdrawn: %w", err)
+	}
+	body = body[wdLen:]
+
+	if len(body) < 2 {
+		return nil, errors.New("bgp: truncated attribute length")
+	}
+	attrLen := int(binary.BigEndian.Uint16(body))
+	body = body[2:]
+	if len(body) < attrLen {
+		return nil, errors.New("bgp: truncated attributes")
+	}
+	if err := u.decodeAttrs(body[:attrLen]); err != nil {
+		return nil, err
+	}
+	u.Announced, err = decodeNLRI(body[attrLen:], false)
+	if err != nil {
+		return nil, fmt.Errorf("bgp: nlri: %w", err)
+	}
+	return u, nil
+}
+
+func (u *Update) decodeAttrs(b []byte) error {
+	for len(b) > 0 {
+		if len(b) < 3 {
+			return errors.New("bgp: truncated attribute header")
+		}
+		flags, code := b[0], b[1]
+		var alen int
+		if flags&flagExtLen != 0 {
+			if len(b) < 4 {
+				return errors.New("bgp: truncated extended length")
+			}
+			alen = int(binary.BigEndian.Uint16(b[2:4]))
+			b = b[4:]
+		} else {
+			alen = int(b[2])
+			b = b[3:]
+		}
+		if len(b) < alen {
+			return fmt.Errorf("bgp: attribute %d truncated", code)
+		}
+		val := b[:alen]
+		b = b[alen:]
+		switch code {
+		case attrOrigin:
+			if alen != 1 {
+				return errors.New("bgp: bad ORIGIN length")
+			}
+			u.Origin = OriginCode(val[0])
+		case attrASPath:
+			ap, err := decodeASPath(val)
+			if err != nil {
+				return err
+			}
+			u.ASPath = ap
+		case attrNextHop:
+			if alen != 4 {
+				return errors.New("bgp: bad NEXT_HOP length")
+			}
+			u.NextHop = netip.AddrFrom4([4]byte(val))
+		case attrMED:
+			if alen != 4 {
+				return errors.New("bgp: bad MED length")
+			}
+			u.MED = binary.BigEndian.Uint32(val)
+			u.HasMED = true
+		case attrMPReach:
+			if err := u.decodeMPReach(val); err != nil {
+				return err
+			}
+		case attrMPUnreach:
+			if err := u.decodeMPUnreach(val); err != nil {
+				return err
+			}
+		default:
+			// Unknown attributes are skipped; the pipeline only needs the above.
+		}
+	}
+	return nil
+}
+
+func decodeASPath(b []byte) (ASPath, error) {
+	var out ASPath
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return nil, errors.New("bgp: truncated AS_PATH segment header")
+		}
+		segType, n := b[0], int(b[1])
+		b = b[2:]
+		if segType != SegmentSet && segType != SegmentSequence {
+			return nil, fmt.Errorf("bgp: unknown AS_PATH segment type %d", segType)
+		}
+		if len(b) < 4*n {
+			return nil, errors.New("bgp: truncated AS_PATH segment")
+		}
+		seg := Segment{Type: segType, ASNs: make([]asn.ASN, n)}
+		for i := 0; i < n; i++ {
+			seg.ASNs[i] = asn.ASN(binary.BigEndian.Uint32(b[4*i:]))
+		}
+		b = b[4*n:]
+		out = append(out, seg)
+	}
+	return out, nil
+}
+
+func (u *Update) decodeMPReach(b []byte) error {
+	if len(b) < 5 {
+		return errors.New("bgp: truncated MP_REACH")
+	}
+	afi := binary.BigEndian.Uint16(b[:2])
+	safi := b[2]
+	nhLen := int(b[3])
+	if afi != 2 || safi != 1 {
+		return fmt.Errorf("bgp: unsupported AFI/SAFI %d/%d", afi, safi)
+	}
+	if nhLen != 16 || len(b) < 4+nhLen+1 {
+		return errors.New("bgp: bad MP_REACH next hop")
+	}
+	u.V6NextHop = netip.AddrFrom16([16]byte(b[4 : 4+16]))
+	rest := b[4+nhLen+1:]
+	var err error
+	u.V6Announced, err = decodeNLRI(rest, true)
+	return err
+}
+
+func (u *Update) decodeMPUnreach(b []byte) error {
+	if len(b) < 3 {
+		return errors.New("bgp: truncated MP_UNREACH")
+	}
+	afi := binary.BigEndian.Uint16(b[:2])
+	safi := b[2]
+	if afi != 2 || safi != 1 {
+		return fmt.Errorf("bgp: unsupported MP_UNREACH AFI/SAFI %d/%d", afi, safi)
+	}
+	var err error
+	u.V6Withdrawn, err = decodeNLRI(b[3:], true)
+	return err
+}
+
+// encodeNLRI writes prefixes in the (length, truncated-address) wire form.
+func encodeNLRI(prefixes []netip.Prefix) ([]byte, error) {
+	var b bytes.Buffer
+	for _, p := range prefixes {
+		if !p.IsValid() {
+			return nil, fmt.Errorf("invalid prefix %v", p)
+		}
+		p = p.Masked()
+		b.WriteByte(byte(p.Bits()))
+		nbytes := (p.Bits() + 7) / 8
+		if p.Addr().Is4() {
+			a := p.Addr().As4()
+			b.Write(a[:nbytes])
+		} else {
+			a := p.Addr().As16()
+			b.Write(a[:nbytes])
+		}
+	}
+	return b.Bytes(), nil
+}
+
+func decodeNLRI(b []byte, v6 bool) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for len(b) > 0 {
+		bits := int(b[0])
+		b = b[1:]
+		max := 32
+		if v6 {
+			max = 128
+		}
+		if bits > max {
+			return nil, fmt.Errorf("prefix length %d exceeds %d", bits, max)
+		}
+		nbytes := (bits + 7) / 8
+		if len(b) < nbytes {
+			return nil, errors.New("truncated NLRI")
+		}
+		if v6 {
+			var a [16]byte
+			copy(a[:], b[:nbytes])
+			out = append(out, netip.PrefixFrom(netip.AddrFrom16(a), bits).Masked())
+		} else {
+			var a [4]byte
+			copy(a[:], b[:nbytes])
+			out = append(out, netip.PrefixFrom(netip.AddrFrom4(a), bits).Masked())
+		}
+		b = b[nbytes:]
+	}
+	return out, nil
+}

@@ -1,0 +1,335 @@
+// Package bgpsession implements a minimal BGP-4 speaker (RFC 4271): the
+// OPEN handshake with 4-octet-AS capability negotiation, keepalive and hold
+// timers, and update exchange. Route collectors like RouteViews are nothing
+// more than passive speakers that accept sessions and record every UPDATE;
+// this package lets the simulator's vantage points feed a collector over a
+// real byte stream (net.Conn, net.Pipe) instead of handing it structs,
+// exercising the full wire path end to end.
+package bgpsession
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"countryrank/internal/asn"
+	"countryrank/internal/bgp"
+)
+
+// Config parameterizes one side of a session.
+type Config struct {
+	AS    asn.ASN
+	BGPID netip.Addr
+	// HoldTime is the advertised hold time; the effective hold time is the
+	// minimum of both sides'. Zero selects 90 seconds.
+	HoldTime time.Duration
+	// HandshakeTimeout bounds Establish. Zero selects 10 seconds.
+	HandshakeTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HoldTime == 0 {
+		c.HoldTime = 90 * time.Second
+	}
+	if c.HandshakeTimeout == 0 {
+		c.HandshakeTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Session is an established BGP session.
+type Session struct {
+	conn net.Conn
+	cfg  Config
+	// Peer is the remote side's OPEN.
+	Peer bgp.Open
+	// hold is the negotiated hold time (0 = no keepalives required).
+	hold time.Duration
+
+	readBuf []byte
+
+	mu       sync.Mutex
+	closed   bool
+	stopKeep chan struct{}
+	keepWG   sync.WaitGroup
+}
+
+// Establish performs the OPEN/KEEPALIVE handshake on conn. Both sides call
+// it; the exchange is symmetric.
+func Establish(conn net.Conn, cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	s := &Session{conn: conn, cfg: cfg}
+
+	deadline := time.Now().Add(cfg.HandshakeTimeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, fmt.Errorf("bgpsession: set deadline: %w", err)
+	}
+	// The wire carries whole seconds; advertise the ceiling so sub-second
+	// configured hold times don't become 0 ("no hold monitoring").
+	holdSecs := uint16((cfg.HoldTime + time.Second - 1) / time.Second)
+	open := bgp.Open{AS: cfg.AS, HoldTime: holdSecs, BGPID: cfg.BGPID}
+	raw, err := open.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	// Both sides write before reading: on unbuffered transports like
+	// net.Pipe a synchronous write would deadlock against the symmetric
+	// peer, so a single ordered writer goroutine sends the OPEN, waits
+	// until the peer's OPEN has been read (the RFC's trigger for sending
+	// KEEPALIVE), and then sends the KEEPALIVE.
+	writeDone := make(chan error, 1)
+	openRead := make(chan struct{})
+	go func() {
+		if _, err := conn.Write(raw); err != nil {
+			writeDone <- err
+			return
+		}
+		<-openRead
+		_, err := conn.Write(bgp.MarshalKeepalive())
+		writeDone <- err
+	}()
+
+	msg, err := s.readMessage()
+	if err != nil {
+		close(openRead)
+		return nil, s.fail(err)
+	}
+	if msg.Type != bgp.TypeOpen {
+		close(openRead)
+		return nil, s.fail(&bgp.Notification{Code: bgp.NotifFSMError})
+	}
+	s.Peer = *msg.Open
+	close(openRead)
+
+	// Negotiated hold time: the minimum of the local configuration (which
+	// keeps sub-second precision) and the peer's advertisement. A peer
+	// advertising 0 disables hold monitoring entirely (RFC 4271 §4.2).
+	peerHold := time.Duration(msg.Open.HoldTime) * time.Second
+	s.hold = cfg.HoldTime
+	if peerHold == 0 {
+		s.hold = 0
+	} else if peerHold < s.hold {
+		s.hold = peerHold
+	}
+
+	msg, err = s.readMessage()
+	if err != nil {
+		return nil, s.fail(err)
+	}
+	if msg.Type != bgp.TypeKeepalive {
+		return nil, s.fail(&bgp.Notification{Code: bgp.NotifFSMError})
+	}
+	if err := <-writeDone; err != nil {
+		s.conn.Close()
+		return nil, fmt.Errorf("bgpsession: handshake write: %w", err)
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// fail sends a notification for protocol errors (best effort: a short write
+// deadline keeps an unread unbuffered peer from stalling the teardown) and
+// closes the connection.
+func (s *Session) fail(err error) error {
+	var notif *bgp.Notification
+	if errors.As(err, &notif) {
+		if raw, merr := notif.Marshal(); merr == nil {
+			s.conn.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+			s.conn.Write(raw)
+		}
+	}
+	s.conn.Close()
+	return err
+}
+
+// readMessage reads one complete message from the connection.
+func (s *Session) readMessage() (*bgp.Message, error) {
+	var tmp [4096]byte
+	for {
+		if msg, n, err := bgp.ReadMessage(s.readBuf); err != nil {
+			return nil, err
+		} else if msg != nil {
+			s.readBuf = append(s.readBuf[:0], s.readBuf[n:]...)
+			return msg, nil
+		}
+		n, err := s.conn.Read(tmp[:])
+		if n > 0 {
+			s.readBuf = append(s.readBuf, tmp[:n]...)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Send transmits one UPDATE.
+func (s *Session) Send(u *bgp.Update) error {
+	raw, err := u.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = s.conn.Write(raw)
+	return err
+}
+
+// Recv returns the next UPDATE, transparently absorbing keepalives and
+// enforcing the negotiated hold timer. A received NOTIFICATION or a hold
+// timer expiry closes the session and is returned as the error; io.EOF
+// signals a clean remote close.
+func (s *Session) Recv() (*bgp.Update, error) {
+	for {
+		if s.hold > 0 {
+			if err := s.conn.SetReadDeadline(time.Now().Add(s.hold)); err != nil {
+				return nil, err
+			}
+		}
+		msg, err := s.readMessage()
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				expired := &bgp.Notification{Code: bgp.NotifHoldTimerExpired}
+				s.fail(expired)
+				return nil, expired
+			}
+			if errors.Is(err, io.EOF) {
+				return nil, io.EOF
+			}
+			return nil, s.fail(err)
+		}
+		switch msg.Type {
+		case bgp.TypeUpdate:
+			return msg.Update, nil
+		case bgp.TypeKeepalive:
+			continue
+		case bgp.TypeNotification:
+			s.conn.Close()
+			return nil, msg.Notification
+		default:
+			return nil, s.fail(&bgp.Notification{Code: bgp.NotifFSMError})
+		}
+	}
+}
+
+// StartKeepalives sends keepalives every interval until Close. The
+// conventional interval is a third of the hold time.
+func (s *Session) StartKeepalives(interval time.Duration) {
+	if interval <= 0 {
+		interval = s.hold / 3
+	}
+	if interval <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopKeep != nil || s.closed {
+		return
+	}
+	s.stopKeep = make(chan struct{})
+	stop := s.stopKeep
+	s.keepWG.Add(1)
+	go func() {
+		defer s.keepWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.mu.Lock()
+				closed := s.closed
+				s.mu.Unlock()
+				if closed {
+					return
+				}
+				if _, err := s.conn.Write(bgp.MarshalKeepalive()); err != nil {
+					return
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// HoldTime returns the negotiated hold time.
+func (s *Session) HoldTime() time.Duration { return s.hold }
+
+// Close sends CEASE and closes the connection.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	stop := s.stopKeep
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	// CEASE is best effort: if the peer is not reading (or the transport is
+	// unbuffered, like net.Pipe), the write must not stall the close.
+	cease := &bgp.Notification{Code: bgp.NotifCease}
+	if raw, err := cease.Marshal(); err == nil {
+		s.conn.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+		s.conn.Write(raw)
+	}
+	err := s.conn.Close()
+	s.keepWG.Wait()
+	return err
+}
+
+// Table accumulates the best routes learned over a session, keyed by
+// prefix: what a route collector stores per peer.
+type Table struct {
+	Routes map[netip.Prefix]bgp.Path
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table { return &Table{Routes: map[netip.Prefix]bgp.Path{}} }
+
+// Apply folds one UPDATE into the table, both address families.
+func (t *Table) Apply(u *bgp.Update) {
+	for _, w := range u.Withdrawn {
+		delete(t.Routes, w)
+	}
+	for _, w := range u.V6Withdrawn {
+		delete(t.Routes, w)
+	}
+	path := u.ASPath.Flatten()
+	for _, p := range u.Announced {
+		t.Routes[p] = path
+	}
+	for _, p := range u.V6Announced {
+		t.Routes[p] = path
+	}
+}
+
+// Collect receives updates into the table until the peer closes the
+// session (io.EOF or CEASE) or max updates arrive (0 = unlimited). It
+// returns the number of updates applied.
+func (s *Session) Collect(t *Table, max int) (int, error) {
+	n := 0
+	for max == 0 || n < max {
+		u, err := s.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil
+			}
+			var notif *bgp.Notification
+			if errors.As(err, &notif) && notif.Code == bgp.NotifCease {
+				return n, nil
+			}
+			return n, err
+		}
+		t.Apply(u)
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,203 @@
+package bgpsession
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"countryrank/internal/asn"
+	"countryrank/internal/bgp"
+	"countryrank/internal/netx"
+)
+
+func cfg(a uint32, id string) Config {
+	return Config{AS: asn.ASN(a), BGPID: netip.MustParseAddr(id), HoldTime: 3 * time.Second}
+}
+
+func pipePair(t *testing.T, a, b Config) (*Session, *Session) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	var s1, s2 *Session
+	var e1, e2 error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); s1, e1 = Establish(c1, a) }()
+	go func() { defer wg.Done(); s2, e2 = Establish(c2, b) }()
+	wg.Wait()
+	if e1 != nil || e2 != nil {
+		t.Fatalf("handshake: %v / %v", e1, e2)
+	}
+	return s1, s2
+}
+
+func TestHandshakeNegotiation(t *testing.T) {
+	// A 4-byte ASN must survive the AS_TRANS encoding via the capability.
+	speaker, collector := pipePair(t,
+		Config{AS: 401234, BGPID: netip.MustParseAddr("10.0.0.1"), HoldTime: 9 * time.Second},
+		Config{AS: 6447, BGPID: netip.MustParseAddr("10.0.0.2"), HoldTime: 3 * time.Second},
+	)
+	defer speaker.Close()
+	defer collector.Close()
+	if collector.Peer.AS != 401234 {
+		t.Errorf("collector sees peer AS %v, want 401234", collector.Peer.AS)
+	}
+	if speaker.Peer.AS != 6447 {
+		t.Errorf("speaker sees peer AS %v", speaker.Peer.AS)
+	}
+	// Hold time negotiates to the minimum of both sides.
+	if speaker.HoldTime() != 3*time.Second || collector.HoldTime() != 3*time.Second {
+		t.Errorf("hold times: %v / %v, want 3s", speaker.HoldTime(), collector.HoldTime())
+	}
+}
+
+func TestFeedAndCollect(t *testing.T) {
+	speaker, collector := pipePair(t, cfg(64496+100000, "10.0.0.1"), cfg(6447, "10.0.0.2"))
+	defer collector.Close()
+
+	want := map[string][]uint32{
+		"192.0.2.0/24":    {100001, 3356, 1221},
+		"198.51.100.0/24": {100001, 1299, 4826, 1221},
+		"203.0.113.0/24":  {100001, 174},
+	}
+	go func() {
+		for pfx, hops := range want {
+			path := make(bgp.Path, len(hops))
+			for i, h := range hops {
+				path[i] = asn.ASN(h)
+			}
+			u := &bgp.Update{
+				ASPath:    bgp.SequencePath(path),
+				NextHop:   netip.MustParseAddr("10.0.0.1"),
+				Announced: []netip.Prefix{netx.MustPrefix(pfx)},
+			}
+			if err := speaker.Send(u); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+		}
+		speaker.Close() // CEASE ends collection
+	}()
+
+	table := NewTable()
+	n, err := collector.Collect(table, 0)
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	if n != len(want) {
+		t.Fatalf("applied %d updates, want %d", n, len(want))
+	}
+	for pfx, hops := range want {
+		got, ok := table.Routes[netx.MustPrefix(pfx)]
+		if !ok {
+			t.Fatalf("missing route for %s", pfx)
+		}
+		if len(got) != len(hops) {
+			t.Fatalf("route %s = %v", pfx, got)
+		}
+		for i, h := range hops {
+			if got[i] != asn.ASN(h) {
+				t.Fatalf("route %s hop %d = %v, want %d", pfx, i, got[i], h)
+			}
+		}
+	}
+}
+
+func TestWithdrawal(t *testing.T) {
+	speaker, collector := pipePair(t, cfg(65001+100000, "10.0.0.1"), cfg(6447, "10.0.0.2"))
+	defer collector.Close()
+
+	pfx := netx.MustPrefix("192.0.2.0/24")
+	go func() {
+		speaker.Send(&bgp.Update{
+			ASPath:    bgp.SequencePath(bgp.Path{100001, 3356}),
+			NextHop:   netip.MustParseAddr("10.0.0.1"),
+			Announced: []netip.Prefix{pfx},
+		})
+		speaker.Send(&bgp.Update{Withdrawn: []netip.Prefix{pfx}})
+		speaker.Close()
+	}()
+	table := NewTable()
+	if _, err := collector.Collect(table, 0); err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	if _, ok := table.Routes[pfx]; ok {
+		t.Error("withdrawn route still present")
+	}
+}
+
+func TestHoldTimerExpiry(t *testing.T) {
+	speaker, collector := pipePair(t,
+		Config{AS: 100001, BGPID: netip.MustParseAddr("10.0.0.1"), HoldTime: 300 * time.Millisecond},
+		Config{AS: 6447, BGPID: netip.MustParseAddr("10.0.0.2"), HoldTime: 300 * time.Millisecond},
+	)
+	defer speaker.Close()
+	defer collector.Close()
+
+	// The speaker goes silent: the collector's hold timer must fire.
+	_, err := collector.Recv()
+	var notif *bgp.Notification
+	if !errors.As(err, &notif) || notif.Code != bgp.NotifHoldTimerExpired {
+		t.Fatalf("err = %v, want hold timer expiry", err)
+	}
+}
+
+func TestKeepalivesPreventExpiry(t *testing.T) {
+	speaker, collector := pipePair(t,
+		Config{AS: 100001, BGPID: netip.MustParseAddr("10.0.0.1"), HoldTime: 400 * time.Millisecond},
+		Config{AS: 6447, BGPID: netip.MustParseAddr("10.0.0.2"), HoldTime: 400 * time.Millisecond},
+	)
+	defer collector.Close()
+	speaker.StartKeepalives(100 * time.Millisecond)
+
+	// After >2 hold periods of silence-except-keepalives, send one update:
+	// it must arrive without any expiry.
+	go func() {
+		time.Sleep(900 * time.Millisecond)
+		speaker.Send(&bgp.Update{
+			ASPath:    bgp.SequencePath(bgp.Path{100001}),
+			NextHop:   netip.MustParseAddr("10.0.0.1"),
+			Announced: []netip.Prefix{netx.MustPrefix("192.0.2.0/24")},
+		})
+		speaker.Close()
+	}()
+	u, err := collector.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if len(u.Announced) != 1 {
+		t.Fatalf("update = %+v", u)
+	}
+}
+
+func TestGarbageTriggersNotification(t *testing.T) {
+	c1, c2 := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Establish(c2, cfg(6447, "10.0.0.2"))
+		done <- err
+	}()
+	// Send garbage instead of an OPEN.
+	junk := make([]byte, 19)
+	c1.Write(junk)
+	err := <-done
+	var notif *bgp.Notification
+	if !errors.As(err, &notif) || notif.Code != bgp.NotifMessageHeaderError {
+		t.Fatalf("err = %v, want header-error notification", err)
+	}
+	c1.Close()
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	speaker, collector := pipePair(t, cfg(100001, "10.0.0.1"), cfg(6447, "10.0.0.2"))
+	speaker.StartKeepalives(50 * time.Millisecond)
+	if err := speaker.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := speaker.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	collector.Close()
+}

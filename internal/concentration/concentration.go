@@ -1,0 +1,98 @@
+// Package concentration derives telecom-market concentration statistics
+// from the sanitized path data — the "network concentration" analysis the
+// paper's conclusion names as a use of the rankings. Market share here is
+// last-hop transit share: the fraction of a country's address space whose
+// observed paths enter the origin AS through a given provider.
+package concentration
+
+import (
+	"sort"
+
+	"countryrank/internal/asn"
+	"countryrank/internal/sanitize"
+)
+
+// Share is one provider's slice of a market.
+type Share struct {
+	ASN   asn.ASN
+	Share float64
+}
+
+// Market is a country's transit-market structure.
+type Market struct {
+	Shares []Share // descending
+	// HHI is the Herfindahl–Hirschman index in the economists' 0–10000
+	// scale; above 2500 is conventionally "highly concentrated".
+	HHI float64
+	// CR1 and CR3 are the top-1 and top-3 concentration ratios in [0, 1].
+	CR1, CR3 float64
+	// Addresses is the weighted market size.
+	Addresses uint64
+}
+
+// Compute measures the market over the given accepted-record positions
+// (typically a national view). For every (prefix, provider) pair observed —
+// provider being the AS adjacent to the origin on the path — the prefix's
+// addresses count toward the provider, split across the distinct providers
+// observed for that prefix (multihoming splits the customer's weight).
+func Compute(ds *sanitize.Dataset, recs []int32) Market {
+	// Distinct providers observed per prefix.
+	providers := map[int32]map[asn.ASN]struct{}{}
+	visit := func(i int) {
+		_, pfxIdx, path := ds.Record(i)
+		if len(path) < 2 {
+			return // the origin is the VP itself: no transit observed
+		}
+		prov := path[len(path)-2]
+		m := providers[pfxIdx]
+		if m == nil {
+			m = map[asn.ASN]struct{}{}
+			providers[pfxIdx] = m
+		}
+		m[prov] = struct{}{}
+	}
+	if recs == nil {
+		for i := 0; i < ds.Len(); i++ {
+			visit(i)
+		}
+	} else {
+		for _, i := range recs {
+			visit(int(i))
+		}
+	}
+
+	weights := map[asn.ASN]float64{}
+	var total float64
+	for pfxIdx, provs := range providers {
+		w := float64(ds.Weight[pfxIdx])
+		total += w
+		per := w / float64(len(provs))
+		for p := range provs {
+			weights[p] += per
+		}
+	}
+
+	m := Market{Addresses: uint64(total)}
+	if total == 0 {
+		return m
+	}
+	for a, w := range weights {
+		m.Shares = append(m.Shares, Share{ASN: a, Share: w / total})
+	}
+	sort.Slice(m.Shares, func(i, j int) bool {
+		if m.Shares[i].Share != m.Shares[j].Share {
+			return m.Shares[i].Share > m.Shares[j].Share
+		}
+		return m.Shares[i].ASN < m.Shares[j].ASN
+	})
+	for i, s := range m.Shares {
+		m.HHI += s.Share * s.Share * 10000
+		if i == 0 {
+			m.CR1 = s.Share
+		}
+		if i < 3 {
+			m.CR3 += s.Share
+		}
+	}
+	return m
+}

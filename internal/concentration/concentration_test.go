@@ -1,0 +1,80 @@
+package concentration
+
+import (
+	"math"
+	"testing"
+
+	"countryrank/internal/countries"
+	"countryrank/internal/metrictest"
+)
+
+func TestMonopolyMarket(t *testing.T) {
+	// One provider (5) carries both prefixes: HHI = 10000, CR1 = 1.
+	ds := metrictest.Dataset([]countries.Code{"US"}, []metrictest.Rec{
+		{VP: 0, Prefix: "9.0.0.0/24", PrefixCountry: "AU", Path: []uint32{1, 5, 100}},
+		{VP: 0, Prefix: "9.1.0.0/24", PrefixCountry: "AU", Path: []uint32{1, 5, 200}},
+	})
+	m := Compute(ds, nil)
+	if math.Abs(m.HHI-10000) > 1e-6 || m.CR1 != 1 || m.CR3 != 1 {
+		t.Errorf("monopoly market = %+v", m)
+	}
+	if len(m.Shares) != 1 || m.Shares[0].ASN != 5 {
+		t.Errorf("shares = %+v", m.Shares)
+	}
+	if m.Addresses != 512 {
+		t.Errorf("market size = %d", m.Addresses)
+	}
+}
+
+func TestSplitMarket(t *testing.T) {
+	// Two providers with equal /24 customers: HHI = 5000, CR1 = 0.5.
+	ds := metrictest.Dataset([]countries.Code{"US"}, []metrictest.Rec{
+		{VP: 0, Prefix: "9.0.0.0/24", PrefixCountry: "AU", Path: []uint32{1, 5, 100}},
+		{VP: 0, Prefix: "9.1.0.0/24", PrefixCountry: "AU", Path: []uint32{1, 6, 200}},
+	})
+	m := Compute(ds, nil)
+	if math.Abs(m.HHI-5000) > 1e-6 {
+		t.Errorf("HHI = %f", m.HHI)
+	}
+	if m.CR1 != 0.5 || m.CR3 != 1 {
+		t.Errorf("CR1/CR3 = %f/%f", m.CR1, m.CR3)
+	}
+}
+
+func TestMultihomingSplitsWeight(t *testing.T) {
+	// One prefix observed behind two providers: each gets half.
+	ds := metrictest.Dataset([]countries.Code{"US", "NL"}, []metrictest.Rec{
+		{VP: 0, Prefix: "9.0.0.0/24", PrefixCountry: "AU", Path: []uint32{1, 5, 100}},
+		{VP: 1, Prefix: "9.0.0.0/24", PrefixCountry: "AU", Path: []uint32{2, 6, 100}},
+	})
+	m := Compute(ds, nil)
+	if len(m.Shares) != 2 {
+		t.Fatalf("shares = %+v", m.Shares)
+	}
+	for _, s := range m.Shares {
+		if math.Abs(s.Share-0.5) > 1e-9 {
+			t.Errorf("share = %+v", s)
+		}
+	}
+}
+
+func TestOriginAtVPIgnored(t *testing.T) {
+	// A one-hop path (the VP's AS originates the prefix) shows no transit.
+	ds := metrictest.Dataset([]countries.Code{"US"}, []metrictest.Rec{
+		{VP: 0, Prefix: "9.0.0.0/24", PrefixCountry: "AU", Path: []uint32{100}},
+	})
+	m := Compute(ds, nil)
+	if len(m.Shares) != 0 || m.Addresses != 0 {
+		t.Errorf("market = %+v", m)
+	}
+}
+
+func TestEmptyMarket(t *testing.T) {
+	ds := metrictest.Dataset([]countries.Code{"US"}, []metrictest.Rec{
+		{VP: 0, Prefix: "9.0.0.0/24", PrefixCountry: "AU", Path: []uint32{1, 5, 100}},
+	})
+	m := Compute(ds, []int32{})
+	if m.HHI != 0 || len(m.Shares) != 0 {
+		t.Errorf("empty market = %+v", m)
+	}
+}

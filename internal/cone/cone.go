@@ -1,0 +1,234 @@
+// Package cone computes prefix-level customer cones (§1.1, Figure 1): for
+// each sanitized AS path, the segment up to and including the first
+// peer↔peer link (or up to the provider side of the first provider→customer
+// link) is discarded, and every AS on the remaining provider→customer chain
+// absorbs the path's prefix into its cone. An AS's cone score is the number
+// of addresses of the distinct prefixes in its cone, so the metric captures
+// how much of the considered address space pays the AS — directly or
+// through customers of customers — for transit.
+package cone
+
+import (
+	"countryrank/internal/asn"
+	"countryrank/internal/bgp"
+	"countryrank/internal/relation"
+	"countryrank/internal/sanitize"
+	"countryrank/internal/topology"
+)
+
+// Scores holds address-weighted cone sizes within one view's scope.
+type Scores struct {
+	// Addresses[a] is the total address weight of distinct prefixes in a's
+	// customer cone, restricted to the view's prefixes.
+	Addresses map[asn.ASN]uint64
+	// ASes[a] is the number of distinct ASes in a's customer cone
+	// (including itself), the unit CAIDA's AS Rank orders by.
+	ASes map[asn.ASN]int
+	// Total is the address weight of all distinct prefixes in the view:
+	// the denominator for Share.
+	Total uint64
+}
+
+// Share returns a's cone as a fraction of the view's address space.
+func (s Scores) Share(a asn.ASN) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Addresses[a]) / float64(s.Total)
+}
+
+// Shares returns every AS's fractional score.
+func (s Scores) Shares() map[asn.ASN]float64 {
+	out := make(map[asn.ASN]float64, len(s.Addresses))
+	for a := range s.Addresses {
+		out[a] = s.Share(a)
+	}
+	return out
+}
+
+// Compute calculates cones over the given accepted-record positions of ds
+// (pass nil for all records). rels supplies relationship labels — the
+// ground-truth graph or an inferred table.
+func Compute(ds *sanitize.Dataset, recs []int32, rels relation.Oracle) Scores {
+	// conePrefixes[a] tracks distinct prefix indexes per AS; coneASes[a]
+	// tracks the distinct downstream ASes (cone membership).
+	conePrefixes := map[asn.ASN]map[int32]struct{}{}
+	coneASes := map[asn.ASN]map[asn.ASN]struct{}{}
+	seenPrefix := map[int32]struct{}{}
+
+	each(ds, recs, func(i int) {
+		_, pfxIdx, path := ds.Record(i)
+		seenPrefix[pfxIdx] = struct{}{}
+		start := chainStart(path, rels)
+		if start < 0 {
+			return
+		}
+		// The retained segment must be a pure provider→customer chain down
+		// to the origin; if any link breaks (possible with imperfect
+		// inferred relationships), the record contributes nothing beyond
+		// the origin's self-membership.
+		for j := start; j+1 < len(path); j++ {
+			if rels.Rel(path[j], path[j+1]) != topology.RelP2C {
+				start = len(path) - 1
+				break
+			}
+		}
+		for j := start; j < len(path); j++ {
+			set := conePrefixes[path[j]]
+			if set == nil {
+				set = map[int32]struct{}{}
+				conePrefixes[path[j]] = set
+			}
+			set[pfxIdx] = struct{}{}
+			members := coneASes[path[j]]
+			if members == nil {
+				members = map[asn.ASN]struct{}{}
+				coneASes[path[j]] = members
+			}
+			// An AS's cone contains itself and every AS observed
+			// downstream of it on the retained chain.
+			for k := j; k < len(path); k++ {
+				members[path[k]] = struct{}{}
+			}
+		}
+	})
+
+	s := Scores{
+		Addresses: make(map[asn.ASN]uint64, len(conePrefixes)),
+		ASes:      make(map[asn.ASN]int, len(coneASes)),
+	}
+	for p := range seenPrefix {
+		s.Total += ds.Weight[p]
+	}
+	for a, set := range conePrefixes {
+		var sum uint64
+		for p := range set {
+			sum += ds.Weight[p]
+		}
+		s.Addresses[a] = sum
+	}
+	for a, members := range coneASes {
+		s.ASes[a] = len(members)
+	}
+	return s
+}
+
+// ComputeRecursive is the ablation variant §1.1 warns against: instead of
+// only crediting an AS with prefixes observed downstream of it on actual
+// paths, it collects every observed provider→customer link and takes the
+// transitive closure, so a provider inherits its customers' entire cones
+// even along never-observed combinations. Comparing it with Compute
+// quantifies the cone inflation that motivates the observed-path rule.
+func ComputeRecursive(ds *sanitize.Dataset, recs []int32, rels relation.Oracle) Scores {
+	// Observed p2c links and per-AS directly-originated/observed prefixes.
+	links := map[asn.ASN]map[asn.ASN]struct{}{}
+	own := map[asn.ASN]map[int32]struct{}{}
+	seenPrefix := map[int32]struct{}{}
+
+	each(ds, recs, func(i int) {
+		_, pfxIdx, path := ds.Record(i)
+		seenPrefix[pfxIdx] = struct{}{}
+		if o, ok := path.Origin(); ok {
+			set := own[o]
+			if set == nil {
+				set = map[int32]struct{}{}
+				own[o] = set
+			}
+			set[pfxIdx] = struct{}{}
+		}
+		start := chainStart(path, rels)
+		if start < 0 {
+			return
+		}
+		for j := start; j+1 < len(path); j++ {
+			if rels.Rel(path[j], path[j+1]) != topology.RelP2C {
+				break
+			}
+			m := links[path[j]]
+			if m == nil {
+				m = map[asn.ASN]struct{}{}
+				links[path[j]] = m
+			}
+			m[path[j+1]] = struct{}{}
+		}
+	})
+
+	// Transitive closure by DFS with memoized prefix sets.
+	memo := map[asn.ASN]map[int32]struct{}{}
+	var visit func(a asn.ASN, onPath map[asn.ASN]bool) map[int32]struct{}
+	visit = func(a asn.ASN, onPath map[asn.ASN]bool) map[int32]struct{} {
+		if got, ok := memo[a]; ok {
+			return got
+		}
+		if onPath[a] {
+			return nil // defensive: inferred relationship cycles
+		}
+		onPath[a] = true
+		out := map[int32]struct{}{}
+		for pfx := range own[a] {
+			out[pfx] = struct{}{}
+		}
+		for c := range links[a] {
+			for pfx := range visit(c, onPath) {
+				out[pfx] = struct{}{}
+			}
+		}
+		delete(onPath, a)
+		memo[a] = out
+		return out
+	}
+
+	s := Scores{Addresses: map[asn.ASN]uint64{}}
+	for p := range seenPrefix {
+		s.Total += ds.Weight[p]
+	}
+	all := map[asn.ASN]bool{}
+	for a := range links {
+		all[a] = true
+	}
+	for a := range own {
+		all[a] = true
+	}
+	for a := range all {
+		var sum uint64
+		for p := range visit(a, map[asn.ASN]bool{}) {
+			sum += ds.Weight[p]
+		}
+		s.Addresses[a] = sum
+	}
+	return s
+}
+
+// chainStart returns the index in path where the provider→customer chain
+// begins: after the first peer↔peer link, or at the provider side of the
+// first provider→customer link. When the whole path climbs (or relations
+// are unknown), only the origin remains in scope. Returns -1 for an empty
+// path.
+func chainStart(path bgp.Path, rels relation.Oracle) int {
+	if len(path) == 0 {
+		return -1
+	}
+	for i := 0; i+1 < len(path); i++ {
+		switch rels.Rel(path[i], path[i+1]) {
+		case topology.RelP2P:
+			return i + 1
+		case topology.RelP2C:
+			return i
+		}
+	}
+	return len(path) - 1
+}
+
+// each visits the requested accepted-record positions, or all of them when
+// recs is nil.
+func each(ds *sanitize.Dataset, recs []int32, f func(i int)) {
+	if recs == nil {
+		for i := 0; i < ds.Len(); i++ {
+			f(i)
+		}
+		return
+	}
+	for _, i := range recs {
+		f(int(i))
+	}
+}

@@ -1,0 +1,66 @@
+package cone
+
+import (
+	"testing"
+
+	"countryrank/internal/countries"
+	"countryrank/internal/metrictest"
+)
+
+// TestRecursiveInflates demonstrates the inflation §1.1 describes: a
+// provider observed transiting for a customer on ONE path inherits the
+// customer's whole cone under recursion, even prefixes never observed
+// downstream of the provider.
+func TestRecursiveInflates(t *testing.T) {
+	rels := metrictest.Rels{
+		P2C: [][2]uint32{{1, 2}, {2, 3}, {2, 4}},
+	}
+	// Path via 1 only reaches 3's prefix; 4's prefix is observed only on a
+	// path that does not cross 1.
+	ds := metrictest.Dataset([]countries.Code{"US", "US"}, []metrictest.Rec{
+		{VP: 0, Prefix: "9.0.0.0/24", PrefixCountry: "US", Path: []uint32{1, 2, 3}},
+		{VP: 1, Prefix: "9.1.0.0/24", PrefixCountry: "US", Path: []uint32{2, 4}},
+	})
+
+	observed := Compute(ds, nil, rels)
+	recursive := ComputeRecursive(ds, nil, rels)
+
+	// Observed-path rule: 1's cone holds only 3's prefix.
+	if observed.Addresses[1] != 256 {
+		t.Errorf("observed cone(1) = %d, want 256", observed.Addresses[1])
+	}
+	// Recursive closure: 1 inherits 2's full cone, including 4's prefix.
+	if recursive.Addresses[1] != 512 {
+		t.Errorf("recursive cone(1) = %d, want 512", recursive.Addresses[1])
+	}
+	// The recursion never shrinks anyone's cone.
+	for a, v := range observed.Addresses {
+		if recursive.Addresses[a] < v {
+			t.Errorf("recursive cone(%v) = %d < observed %d", a, recursive.Addresses[a], v)
+		}
+	}
+	if observed.Total != recursive.Total {
+		t.Errorf("scopes differ: %d vs %d", observed.Total, recursive.Total)
+	}
+}
+
+// TestRecursiveOnWorldInflation quantifies the inflation on a generated
+// world: the recursive variant must be a superset, and strictly larger for
+// some transit AS.
+func TestRecursiveOnWorldInflation(t *testing.T) {
+	ds, rels := worldDataset(t)
+	observed := Compute(ds, nil, rels)
+	recursive := ComputeRecursive(ds, nil, rels)
+	inflated := 0
+	for a, v := range recursive.Addresses {
+		if v < observed.Addresses[a] {
+			t.Fatalf("recursive cone(%v) shrank", a)
+		}
+		if v > observed.Addresses[a] {
+			inflated++
+		}
+	}
+	if inflated == 0 {
+		t.Error("expected at least one inflated cone on a real-shaped world")
+	}
+}

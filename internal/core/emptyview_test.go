@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"countryrank/internal/countries"
+)
+
+// TestEmptyNationalViewIsEmptyNotGlobal pins the regression where a country
+// with prefixes but no in-country VPs returned a nil national view, which
+// the metric packages read as "all records" — silently computing global
+// metrics under a national label.
+func TestEmptyNationalViewIsEmptyNotGlobal(t *testing.T) {
+	p := NewPipeline(smallOpts())
+	// Find a country with prefixes but no located in-country VPs.
+	var target countries.Code
+	for _, c := range p.DS.CountriesWithPrefixes() {
+		if p.ViewVPCount(National, c) == 0 {
+			target = c
+			break
+		}
+	}
+	if target == "" {
+		t.Skip("every country has VPs at this scale")
+	}
+	recs := p.ViewRecords(National, target)
+	if recs == nil {
+		t.Fatal("empty national view must be non-nil")
+	}
+	if len(recs) != 0 {
+		t.Fatalf("national view of VP-less %s has %d records", target, len(recs))
+	}
+	cr := p.Country(target)
+	if cr.CCN.Len() != 0 || cr.AHN.Len() != 0 {
+		t.Fatalf("%s national rankings should be empty, got CCN=%d AHN=%d",
+			target, cr.CCN.Len(), cr.AHN.Len())
+	}
+	// The international side still works.
+	if cr.CCI.Len() == 0 {
+		t.Errorf("%s international ranking should not be empty", target)
+	}
+}

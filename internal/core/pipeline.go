@@ -1,0 +1,427 @@
+// Package core assembles the paper's end-to-end pipeline (Figure 6): build
+// or ingest a BGP path collection, sanitize it (§3.1), geolocate prefixes
+// and vantage points (§3.2), slice the accepted records into national /
+// international / global views, and compute the four country-specific
+// ranking metrics — CCI, CCN, AHI, AHN — alongside the global (CCG, AHG)
+// and baseline (AHC, CTI) metrics, plus the NDCG stability analysis of §4.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"countryrank/internal/asn"
+	"countryrank/internal/bgp"
+	"countryrank/internal/cone"
+	"countryrank/internal/countries"
+	"countryrank/internal/cti"
+	"countryrank/internal/geoloc"
+	"countryrank/internal/hegemony"
+	"countryrank/internal/ihr"
+	"countryrank/internal/ndcg"
+	"countryrank/internal/rank"
+	"countryrank/internal/relation"
+	"countryrank/internal/routing"
+	"countryrank/internal/sanitize"
+	"countryrank/internal/topology"
+)
+
+// Options configures a pipeline run. The zero value reproduces the paper's
+// defaults: the April 2021 scenario, a 50% geolocation threshold, 10%
+// hegemony trim, and ground-truth relationships.
+type Options struct {
+	Seed      int64
+	Scenario  topology.Scenario
+	StubScale float64
+	VPScale   float64
+	// IPv6 builds a dual-stack world (see topology.Config.IPv6).
+	IPv6 bool
+	// Threshold is the prefix-geolocation majority threshold (default 0.5).
+	Threshold float64
+	// Trim is the per-side trim fraction for AH and CTI (default 0.10).
+	Trim float64
+	// InferRelationships switches the cone metrics from generator ground
+	// truth to paths-inferred relationships (the ablation of DESIGN.md).
+	InferRelationships bool
+	// Routing tunes collection assembly (days, anomaly rates).
+	Routing routing.BuildOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold == 0 {
+		o.Threshold = 0.5
+	}
+	if o.Trim == 0 {
+		o.Trim = hegemony.DefaultTrim
+	}
+	return o
+}
+
+// Pipeline holds one fully-processed snapshot.
+type Pipeline struct {
+	Opt   Options
+	World *topology.World
+	Col   *routing.Collection
+	DS    *sanitize.Dataset
+	Geo   *geoloc.Table
+	// Rels labels relationships for the cone and CTI metrics.
+	Rels relation.Oracle
+	// Inferred is set when InferRelationships was requested.
+	Inferred *relation.Table
+
+	// byPrefixCountry indexes accepted-record positions by the destination
+	// prefix's country, the common slicing key of all views.
+	byPrefixCountry map[countries.Code][]int32
+}
+
+// NewPipeline builds the synthetic world for the options and processes it.
+func NewPipeline(opt Options) *Pipeline {
+	opt = opt.withDefaults()
+	w := topology.Build(topology.Config{
+		Seed:      opt.Seed,
+		Scenario:  opt.Scenario,
+		StubScale: opt.StubScale,
+		VPScale:   opt.VPScale,
+		IPv6:      opt.IPv6,
+	})
+	col := routing.BuildCollection(w, opt.Routing)
+	return process(w, col, opt)
+}
+
+// NewPipelineFrom processes an existing world and collection (e.g. one
+// imported from MRT dumps).
+func NewPipelineFrom(w *topology.World, col *routing.Collection, opt Options) *Pipeline {
+	return process(w, col, opt.withDefaults())
+}
+
+func process(w *topology.World, col *routing.Collection, opt Options) *Pipeline {
+	geoTable := geoloc.GeolocatePrefixes(w.Geo, col.AnnouncedPrefixes(), opt.Threshold)
+	clique := map[asn.ASN]bool{}
+	for _, a := range w.Clique {
+		clique[a] = true
+	}
+	ds := sanitize.Run(col, sanitize.Config{
+		Clique:       clique,
+		Registry:     w.Graph.Registry(),
+		RouteServers: w.Graph.RouteServers(),
+		GeoTable:     geoTable,
+	})
+	p := &Pipeline{
+		Opt:             opt,
+		World:           w,
+		Col:             col,
+		DS:              ds,
+		Geo:             geoTable,
+		Rels:            w.Graph,
+		byPrefixCountry: map[countries.Code][]int32{},
+	}
+	if opt.InferRelationships {
+		seen := map[string]bool{}
+		var paths []bgp.Path
+		for i := 0; i < ds.Len(); i++ {
+			_, _, path := ds.Record(i)
+			k := path.Key()
+			if !seen[k] {
+				seen[k] = true
+				paths = append(paths, path)
+			}
+		}
+		p.Inferred = relation.Infer(paths, relation.InferClique(paths, 25))
+		p.Rels = p.Inferred
+	}
+	for i := 0; i < ds.Len(); i++ {
+		_, pfxIdx, _ := ds.Record(i)
+		c := ds.PrefixCountry[pfxIdx]
+		p.byPrefixCountry[c] = append(p.byPrefixCountry[c], int32(i))
+	}
+	return p
+}
+
+// ViewKind selects which VPs a country view uses (§3.2, Table 2).
+type ViewKind uint8
+
+const (
+	// National: in-country VPs toward in-country prefixes.
+	National ViewKind = iota
+	// International: out-of-country VPs toward in-country prefixes.
+	International
+	// Global: all located VPs toward all geolocated prefixes.
+	Global
+	// Outbound: in-country VPs toward out-of-country prefixes — the
+	// "paths out of a country" view the paper's §7 leaves as future work.
+	Outbound
+)
+
+func (v ViewKind) String() string {
+	switch v {
+	case National:
+		return "national"
+	case International:
+		return "international"
+	case Global:
+		return "global"
+	case Outbound:
+		return "outbound"
+	}
+	return fmt.Sprintf("ViewKind(%d)", v)
+}
+
+// ViewRecords returns the accepted-record positions of the (kind, country)
+// view. The country is ignored for Global. The result aliases internal
+// state for country views; callers must not mutate it.
+func (p *Pipeline) ViewRecords(kind ViewKind, country countries.Code) []int32 {
+	if kind == Global {
+		return nil // nil means "all accepted records" to the metric packages
+	}
+	// Country views are never nil, even when empty: the metric packages
+	// treat nil as "every record", which would silently turn a
+	// no-in-country-VP national view into a global computation.
+	out := []int32{}
+	if kind == Outbound {
+		// In-country VPs toward everyone else's prefixes: scan the full
+		// accepted set (the prefix-country index cannot serve this view).
+		for i := 0; i < p.DS.Len(); i++ {
+			vpIdx, pfxIdx, _ := p.DS.Record(i)
+			if p.DS.VPCountry[vpIdx] == country && p.DS.PrefixCountry[pfxIdx] != country {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range p.byPrefixCountry[country] {
+		vpIdx, _, _ := p.DS.Record(int(i))
+		vc := p.DS.VPCountry[vpIdx]
+		switch kind {
+		case National:
+			if vc == country {
+				out = append(out, i)
+			}
+		case International:
+			if vc != "" && vc != country {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// filterByVPs keeps only records whose VP is in keep. The result is never
+// nil (see ViewRecords).
+func filterByVPs(ds *sanitize.Dataset, recs []int32, keep map[int32]bool) []int32 {
+	out := []int32{}
+	visit := func(i int32) {
+		vpIdx, _, _ := ds.Record(int(i))
+		if keep[vpIdx] {
+			out = append(out, i)
+		}
+	}
+	if recs == nil {
+		for i := 0; i < ds.Len(); i++ {
+			visit(int32(i))
+		}
+	} else {
+		for _, i := range recs {
+			visit(i)
+		}
+	}
+	return out
+}
+
+// Info returns the presentation metadata resolver for rankings.
+func (p *Pipeline) Info() rank.InfoFunc {
+	return func(a asn.ASN) rank.ASInfo {
+		if node, ok := p.World.Graph.ByASN(a); ok {
+			return rank.ASInfo{Name: node.Name, Country: node.Registered}
+		}
+		return rank.ASInfo{}
+	}
+}
+
+// Metric identifies one of the rankings the pipeline can produce.
+type Metric string
+
+// The paper's metrics (§3) and baselines (§1.2.1, §1.3).
+const (
+	CCI Metric = "CCI"
+	CCN Metric = "CCN"
+	AHI Metric = "AHI"
+	AHN Metric = "AHN"
+	CCG Metric = "CCG"
+	AHG Metric = "AHG"
+	AHC Metric = "AHC"
+	CTI Metric = "CTI"
+)
+
+// CountryRankings bundles the four country-specific rankings.
+type CountryRankings struct {
+	Country                countries.Code
+	CCI, CCN, AHI, AHN     *rank.Ranking
+	ConeIntl, ConeNational cone.Scores
+}
+
+// Country computes the paper's four metrics for one country.
+func (p *Pipeline) Country(c countries.Code) *CountryRankings {
+	intl := p.ViewRecords(International, c)
+	natl := p.ViewRecords(National, c)
+	info := p.Info()
+
+	coneI := cone.Compute(p.DS, intl, p.Rels)
+	coneN := cone.Compute(p.DS, natl, p.Rels)
+	ahI := hegemony.Compute(p.DS, intl, p.Opt.Trim)
+	ahN := hegemony.Compute(p.DS, natl, p.Opt.Trim)
+
+	return &CountryRankings{
+		Country:      c,
+		CCI:          rank.New(string(CCI)+" "+string(c), coneI.Shares(), info, true),
+		CCN:          rank.New(string(CCN)+" "+string(c), coneN.Shares(), info, true),
+		AHI:          rank.New(string(AHI)+" "+string(c), ahI.Hegemony, info, true),
+		AHN:          rank.New(string(AHN)+" "+string(c), ahN.Hegemony, info, true),
+		ConeIntl:     coneI,
+		ConeNational: coneN,
+	}
+}
+
+// Global computes the global customer cone (CCG, AS Rank's metric) and
+// global hegemony (AHG, IHR's metric) over all accepted records.
+func (p *Pipeline) Global() (ccg, ahg *rank.Ranking) {
+	info := p.Info()
+	cs := cone.Compute(p.DS, nil, p.Rels)
+	hs := hegemony.Compute(p.DS, nil, p.Opt.Trim)
+	return rank.New(string(CCG), cs.Shares(), info, true),
+		rank.New(string(AHG), hs.Hegemony, info, true)
+}
+
+// OutboundRankings bundles the §7 future-work "paths out of a country"
+// metrics: which ASes carry a country's outbound reach.
+type OutboundRankings struct {
+	Country  countries.Code
+	CCO, AHO *rank.Ranking
+}
+
+// Outbound computes cone and hegemony over the outbound view: in-country
+// VPs toward out-of-country prefixes. The paper's §7 names this direction
+// as future work; it answers "whose networks does this country rely on to
+// reach the rest of the world?".
+func (p *Pipeline) Outbound(c countries.Code) *OutboundRankings {
+	recs := p.ViewRecords(Outbound, c)
+	info := p.Info()
+	cs := cone.Compute(p.DS, recs, p.Rels)
+	hs := hegemony.Compute(p.DS, recs, p.Opt.Trim)
+	return &OutboundRankings{
+		Country: c,
+		CCO:     rank.New("CCO "+string(c), cs.Shares(), info, true),
+		AHO:     rank.New("AHO "+string(c), hs.Hegemony, info, true),
+	}
+}
+
+// AHC computes the IHR country-level baseline for c.
+func (p *Pipeline) AHC(c countries.Code) *rank.Ranking {
+	s := ihr.Compute(p.DS, p.World.Graph, c, p.Opt.Trim)
+	return rank.New(string(AHC)+" "+string(c), s.AHC, p.Info(), true)
+}
+
+// CTI computes the country-level transit influence baseline for c over its
+// international view.
+func (p *Pipeline) CTI(c countries.Code) *rank.Ranking {
+	recs := p.ViewRecords(International, c)
+	s := cti.Compute(p.DS, recs, p.Rels, p.Opt.Trim)
+	return rank.New(string(CTI)+" "+string(c), s.CTI, p.Info(), true)
+}
+
+// rankFor computes one country metric over an explicit record subset; used
+// by the stability analysis.
+func (p *Pipeline) rankFor(m Metric, recs []int32) *rank.Ranking {
+	switch m {
+	case CCI, CCN, CCG:
+		return rank.New(string(m), cone.Compute(p.DS, recs, p.Rels).Shares(), nil, true)
+	case AHI, AHN, AHG:
+		return rank.New(string(m), hegemony.Compute(p.DS, recs, p.Opt.Trim).Hegemony, nil, true)
+	}
+	panic(fmt.Sprintf("core: metric %q has no subset form", m))
+}
+
+// viewKindOf maps a country metric to its view.
+func viewKindOf(m Metric) ViewKind {
+	switch m {
+	case CCI, AHI:
+		return International
+	case CCN, AHN:
+		return National
+	}
+	return Global
+}
+
+// StabilityPoint is one sample size of a Figure 4 / Figure 5 curve.
+type StabilityPoint struct {
+	VPs      int
+	MeanNDCG float64
+	Trials   int
+	// MeanTau and MeanJaccard are the alternative list-similarity measures
+	// §4.1 implicitly rejects in favor of NDCG, computed for the ablation.
+	MeanTau     float64
+	MeanJaccard float64
+}
+
+// Stability measures how the (metric, country) top-10 ranking degrades as
+// VPs are removed (§4): for each requested sample size it draws trials
+// random VP subsets, recomputes the metric, and averages NDCG (plus the
+// Kendall-tau and Jaccard ablation measures) against the full-view ranking.
+func (p *Pipeline) Stability(m Metric, c countries.Code, sizes []int, trials int, seed int64) []StabilityPoint {
+	kind := viewKindOf(m)
+	full := p.ViewRecords(kind, c)
+	fullRank := p.rankFor(m, full)
+	fullVals := fullRank.Values()
+	fullOrder := fullRank.TopASNs(ndcg.DefaultK)
+
+	// The view's VP population.
+	var vps []int32
+	seen := map[int32]bool{}
+	for _, i := range full {
+		vpIdx, _, _ := p.DS.Record(int(i))
+		if !seen[vpIdx] {
+			seen[vpIdx] = true
+			vps = append(vps, vpIdx)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	var out []StabilityPoint
+	for _, n := range sizes {
+		if n <= 0 || n > len(vps) {
+			continue
+		}
+		var sumNDCG, sumTau, sumJac float64
+		for trial := 0; trial < trials; trial++ {
+			perm := rng.Perm(len(vps))
+			keep := map[int32]bool{}
+			for _, j := range perm[:n] {
+				keep[vps[j]] = true
+			}
+			recs := filterByVPs(p.DS, full, keep)
+			sample := p.rankFor(m, recs)
+			top := sample.TopASNs(ndcg.DefaultK)
+			sumNDCG += ndcg.NDCG(top, fullVals, fullOrder, ndcg.DefaultK)
+			sumTau += ndcg.KendallTau(top, fullOrder, ndcg.DefaultK)
+			sumJac += ndcg.Jaccard(top, fullOrder, ndcg.DefaultK)
+		}
+		out = append(out, StabilityPoint{
+			VPs:         n,
+			MeanNDCG:    sumNDCG / float64(trials),
+			MeanTau:     sumTau / float64(trials),
+			MeanJaccard: sumJac / float64(trials),
+			Trials:      trials,
+		})
+	}
+	return out
+}
+
+// ViewVPCount returns how many distinct VPs contribute to a view.
+func (p *Pipeline) ViewVPCount(kind ViewKind, c countries.Code) int {
+	seen := map[int32]bool{}
+	recs := p.ViewRecords(kind, c)
+	for _, i := range recs {
+		vpIdx, _, _ := p.DS.Record(int(i))
+		seen[vpIdx] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,108 @@
+// Package cti implements the Country-level Transit Influence baseline of
+// Gamero-Garrido et al. as the paper describes it in §1.3: a modified
+// betweenness over paths from out-of-country vantage points, counting only
+// the transit (provider→customer) portion of each path, scoring each AS by
+// the path prefix's addresses weighted by 1/k where k is the AS's distance
+// from the origin (so the origin itself scores 0), and trimming the top and
+// bottom 10% of per-VP values like hegemony.
+package cti
+
+import (
+	"sort"
+
+	"countryrank/internal/asn"
+	"countryrank/internal/relation"
+	"countryrank/internal/sanitize"
+	"countryrank/internal/topology"
+)
+
+// Scores holds CTI values per AS.
+type Scores struct {
+	CTI     map[asn.ASN]float64
+	VPCount int
+}
+
+// Value returns a's CTI (0 when unseen).
+func (s Scores) Value(a asn.ASN) float64 { return s.CTI[a] }
+
+// Compute calculates CTI over the given accepted-record positions (the
+// caller passes an international view: out-of-country VPs toward in-country
+// prefixes). trim < 0 selects the canonical 10%.
+func Compute(ds *sanitize.Dataset, recs []int32, rels relation.Oracle, trim float64) Scores {
+	if trim < 0 {
+		trim = 0.10
+	}
+	nVP := len(ds.VPCountry)
+	totals := make([]uint64, nVP)
+	perVP := make([]map[asn.ASN]float64, nVP)
+
+	visit := func(i int) {
+		vpIdx, pfxIdx, path := ds.Record(i)
+		w := ds.Weight[pfxIdx]
+		totals[vpIdx] += w
+		m := perVP[vpIdx]
+		if m == nil {
+			m = map[asn.ASN]float64{}
+			perVP[vpIdx] = m
+		}
+		// Walk the transit (provider→customer) chain from the origin side:
+		// path[len-1] is the origin (k=0); moving toward the VP, an AS at
+		// distance k scores w/k while the link below it is p2c.
+		for j := len(path) - 2; j >= 0; j-- {
+			if rels.Rel(path[j], path[j+1]) != topology.RelP2C {
+				break
+			}
+			k := len(path) - 1 - j
+			m[path[j]] += float64(w) / float64(k)
+		}
+	}
+	if recs == nil {
+		for i := 0; i < ds.Len(); i++ {
+			visit(i)
+		}
+	} else {
+		for _, i := range recs {
+			visit(int(i))
+		}
+	}
+
+	var vps []int
+	for v := 0; v < nVP; v++ {
+		if totals[v] > 0 {
+			vps = append(vps, v)
+		}
+	}
+	values := map[asn.ASN][]float64{}
+	for _, v := range vps {
+		for a, sc := range perVP[v] {
+			values[a] = append(values[a], sc/float64(totals[v]))
+		}
+	}
+	s := Scores{CTI: make(map[asn.ASN]float64, len(values)), VPCount: len(vps)}
+	for a, vals := range values {
+		s.CTI[a] = trimmedMean(vals, len(vps), trim)
+	}
+	return s
+}
+
+func trimmedMean(vals []float64, n int, trim float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	padded := make([]float64, n)
+	copy(padded, vals)
+	sort.Float64s(padded)
+	k := int(trim * float64(n))
+	if k == 0 && trim > 0 && n >= 3 {
+		k = 1 // same small-view convention as hegemony (Figure 2)
+	}
+	lo, hi := k, n-k
+	if lo >= hi {
+		lo, hi = 0, n
+	}
+	var sum float64
+	for _, v := range padded[lo:hi] {
+		sum += v
+	}
+	return sum / float64(hi-lo)
+}

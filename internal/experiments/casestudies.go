@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"countryrank/internal/asn"
+	"countryrank/internal/core"
+	"countryrank/internal/countries"
+	"countryrank/internal/rank"
+)
+
+// CaseStudyRow is one AS's standing across the four country metrics, the
+// format of Tables 5–8.
+type CaseStudyRow struct {
+	ASN  asn.ASN
+	Info rank.ASInfo
+	// Per metric: 1-based rank (0 = unranked) and value.
+	CCIRank, AHIRank, CCNRank, AHNRank int
+	CCIVal, AHIVal, CCNVal, AHNVal     float64
+	// CCGRank is the AS's global customer-cone rank (the subscript
+	// annotations in the paper's tables).
+	CCGRank int
+}
+
+// CaseStudy reproduces the per-country tables of §5: the union of the top
+// ASes of each metric, annotated with their standing in all four.
+type CaseStudy struct {
+	Country countries.Code
+	Rows    []CaseStudyRow
+}
+
+// RunCaseStudy computes the case-study table for one country. topPer is how
+// many leaders of each metric to include (the paper uses 2).
+func RunCaseStudy(p *core.Pipeline, c countries.Code, topPer int, ccg *rank.Ranking) CaseStudy {
+	cr := p.Country(c)
+	union := map[asn.ASN]bool{}
+	for _, r := range []*rank.Ranking{cr.CCI, cr.AHI, cr.CCN, cr.AHN} {
+		for _, a := range r.TopASNs(topPer) {
+			union[a] = true
+		}
+	}
+	cs := CaseStudy{Country: c}
+	info := p.Info()
+	for a := range union {
+		row := CaseStudyRow{ASN: a, Info: info(a)}
+		row.CCIRank, _ = cr.CCI.RankOf(a)
+		row.AHIRank, _ = cr.AHI.RankOf(a)
+		row.CCNRank, _ = cr.CCN.RankOf(a)
+		row.AHNRank, _ = cr.AHN.RankOf(a)
+		row.CCIVal = cr.CCI.ValueOf(a)
+		row.AHIVal = cr.AHI.ValueOf(a)
+		row.CCNVal = cr.CCN.ValueOf(a)
+		row.AHNVal = cr.AHN.ValueOf(a)
+		if ccg != nil {
+			row.CCGRank, _ = ccg.RankOf(a)
+		}
+		cs.Rows = append(cs.Rows, row)
+	}
+	// Order by best (minimum) rank across metrics, like the paper's tables.
+	best := func(r CaseStudyRow) int {
+		b := 1 << 30
+		for _, x := range []int{r.CCIRank, r.AHIRank, r.CCNRank, r.AHNRank} {
+			if x > 0 && x < b {
+				b = x
+			}
+		}
+		return b
+	}
+	sort.Slice(cs.Rows, func(i, j int) bool {
+		bi, bj := best(cs.Rows[i]), best(cs.Rows[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return cs.Rows[i].ASN < cs.Rows[j].ASN
+	})
+	return cs
+}
+
+// Render formats the case study in the paper's rank+percent cell style.
+func (cs CaseStudy) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Case study %s (Tables 5–8 style)\n", cs.Country)
+	fmt.Fprintf(&b, "%-8s %-22s %-3s  %-11s %-11s %-11s %-11s %s\n",
+		"ASN", "name", "cc", "CCI", "AHI", "CCN", "AHN", "CCG")
+	cell := func(rk int, v float64) string {
+		if rk == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d %.0f%%", rk, 100*v)
+	}
+	for _, r := range cs.Rows {
+		ccg := "-"
+		if r.CCGRank > 0 {
+			ccg = fmt.Sprintf("%d", r.CCGRank)
+		}
+		fmt.Fprintf(&b, "%-8d %-22s %-3s  %-11s %-11s %-11s %-11s %s\n",
+			uint32(r.ASN), r.Info.Name, r.Info.Country,
+			cell(r.CCIRank, r.CCIVal), cell(r.AHIRank, r.AHIVal),
+			cell(r.CCNRank, r.CCNVal), cell(r.AHNRank, r.AHNVal), ccg)
+	}
+	return b.String()
+}
+
+// Table9Row contrasts one AS's country-specific and global standings.
+type Table9Row struct {
+	ASN                                asn.ASN
+	Info                               rank.ASInfo
+	CCIRank, CCGRank, AHIRank, AHGRank int
+	AHCRank, AHNRank                   int
+}
+
+// Table9 is the paper's global-vs-country contrast for Australia: the top
+// 10 by CCI and by AHI, with each AS's CCG/AHG/AHC/AHN ranks alongside.
+type Table9 struct {
+	Country  countries.Code
+	ConeRows []Table9Row // top 10 by CCI
+	HegRows  []Table9Row // top 10 by AHI
+}
+
+// RunTable9 computes the contrast table.
+func RunTable9(p *core.Pipeline, c countries.Code) Table9 {
+	cr := p.Country(c)
+	ccg, ahg := p.Global()
+	ahc := p.AHC(c)
+	info := p.Info()
+	mk := func(a asn.ASN) Table9Row {
+		r := Table9Row{ASN: a, Info: info(a)}
+		r.CCIRank, _ = cr.CCI.RankOf(a)
+		r.CCGRank, _ = ccg.RankOf(a)
+		r.AHIRank, _ = cr.AHI.RankOf(a)
+		r.AHGRank, _ = ahg.RankOf(a)
+		r.AHCRank, _ = ahc.RankOf(a)
+		r.AHNRank, _ = cr.AHN.RankOf(a)
+		return r
+	}
+	t := Table9{Country: c}
+	for _, a := range cr.CCI.TopASNs(10) {
+		t.ConeRows = append(t.ConeRows, mk(a))
+	}
+	for _, a := range cr.AHI.TopASNs(10) {
+		t.HegRows = append(t.HegRows, mk(a))
+	}
+	return t
+}
+
+// Render formats the contrast table.
+func (t Table9) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 9: %s country-specific vs global rankings\n", t.Country)
+	b.WriteString("Customer cone:            AS Hegemony:\n")
+	fmt.Fprintf(&b, "%-4s %-5s %-20s   %-4s %-5s %-5s %-5s %-20s\n",
+		"CCI", "CCG", "AS", "AHI", "AHG", "AHC", "AHN", "AS")
+	for i := 0; i < len(t.ConeRows) || i < len(t.HegRows); i++ {
+		left, right := "", ""
+		if i < len(t.ConeRows) {
+			r := t.ConeRows[i]
+			left = fmt.Sprintf("%-4d %-5s %-20s", r.CCIRank, dash(r.CCGRank),
+				fmt.Sprintf("%d %s %s", uint32(r.ASN), r.Info.Name, r.Info.Country))
+		} else {
+			left = strings.Repeat(" ", 31)
+		}
+		if i < len(t.HegRows) {
+			r := t.HegRows[i]
+			right = fmt.Sprintf("%-4d %-5s %-5s %-5s %-20s", r.AHIRank, dash(r.AHGRank),
+				dash(r.AHCRank), dash(r.AHNRank),
+				fmt.Sprintf("%d %s %s", uint32(r.ASN), r.Info.Name, r.Info.Country))
+		}
+		fmt.Fprintf(&b, "%s   %s\n", left, right)
+	}
+	return b.String()
+}
+
+func dash(v int) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,134 @@
+// Package export writes the artifacts the paper promises to share for
+// reproducibility (§1, contribution 5): the country-inferred AS rankings,
+// the AS-path input data, the VP geolocations, and the per-country
+// geolocation statistics — all as CSV, the least-surprising interchange
+// format for measurement datasets.
+package export
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"countryrank/internal/geoloc"
+	"countryrank/internal/rank"
+	"countryrank/internal/sanitize"
+	"countryrank/internal/vp"
+)
+
+// WriteRankingCSV writes one ranking: rank,asn,name,country,value.
+func WriteRankingCSV(w io.Writer, r *rank.Ranking) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rank", "asn", "name", "country", "value"}); err != nil {
+		return err
+	}
+	for _, e := range r.Entries {
+		rec := []string{
+			strconv.Itoa(e.Rank),
+			strconv.FormatUint(uint64(e.ASN), 10),
+			e.Info.Name,
+			string(e.Info.Country),
+			strconv.FormatFloat(e.Value, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteVPGeoCSV writes the vantage-point geolocations: index, address, AS,
+// collector, country ("" when the collector is multi-hop), feed type.
+func WriteVPGeoCSV(w io.Writer, set *vp.Set) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"vp", "address", "asn", "collector", "country", "feed"}); err != nil {
+		return err
+	}
+	for i := 0; i < set.Len(); i++ {
+		v := set.VP(i)
+		country, _ := set.Country(i)
+		feed := "full"
+		if v.Feed == vp.CustomerFeed {
+			feed = "customer"
+		}
+		rec := []string{
+			strconv.Itoa(i),
+			v.Addr.String(),
+			strconv.FormatUint(uint64(v.AS), 10),
+			v.Collector,
+			string(country),
+			feed,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePathsCSV writes the sanitized AS-path input data: vp, prefix,
+// prefix country, path (space-separated ASNs). limit > 0 truncates the
+// output (the full set runs to millions of rows).
+func WritePathsCSV(w io.Writer, ds *sanitize.Dataset, limit int) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"vp", "prefix", "country", "path"}); err != nil {
+		return err
+	}
+	n := ds.Len()
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	for i := 0; i < n; i++ {
+		vpIdx, pfxIdx, path := ds.Record(i)
+		pathStr := ""
+		for j, a := range path {
+			if j > 0 {
+				pathStr += " "
+			}
+			pathStr += strconv.FormatUint(uint64(a), 10)
+		}
+		rec := []string{
+			strconv.Itoa(int(vpIdx)),
+			ds.PrefixOf(i).String(),
+			string(ds.PrefixCountry[pfxIdx]),
+			pathStr,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteGeoStatsCSV writes per-country geolocation accounting (Tables 4 and
+// 13/14 source data).
+func WriteGeoStatsCSV(w io.Writer, t *geoloc.Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"country", "prefixes", "addresses",
+		"filtered_prefixes", "filtered_addresses",
+		"pct_prefixes_filtered", "pct_addresses_filtered",
+	}); err != nil {
+		return err
+	}
+	for _, s := range t.CountryStats() {
+		rec := []string{
+			string(s.Country),
+			strconv.Itoa(s.Prefixes),
+			strconv.FormatUint(s.Addresses, 10),
+			strconv.Itoa(s.FilteredPrefixes),
+			strconv.FormatUint(s.FilteredAddresses, 10),
+			fmt.Sprintf("%.3f", s.PctPrefixesFiltered()),
+			fmt.Sprintf("%.3f", s.PctAddressesFiltered()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,116 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"countryrank/internal/asn"
+	"countryrank/internal/countries"
+	"countryrank/internal/geoloc"
+	"countryrank/internal/metrictest"
+	"countryrank/internal/netx"
+	"countryrank/internal/rank"
+	"countryrank/internal/vp"
+
+	"net/netip"
+)
+
+func parse(t *testing.T, b *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(b).ReadAll()
+	if err != nil {
+		t.Fatalf("csv parse: %v", err)
+	}
+	return rows
+}
+
+func TestWriteRankingCSV(t *testing.T) {
+	r := rank.New("CCI", map[asn.ASN]float64{1221: 0.44, 4826: 0.81}, func(a asn.ASN) rank.ASInfo {
+		return rank.ASInfo{Name: "n" + a.String(), Country: "AU"}
+	}, false)
+	var buf bytes.Buffer
+	if err := WriteRankingCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, &buf)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "rank" || rows[1][1] != "4826" || rows[2][1] != "1221" {
+		t.Errorf("rows = %v", rows)
+	}
+	if !strings.HasPrefix(rows[1][4], "0.81") {
+		t.Errorf("value = %q", rows[1][4])
+	}
+}
+
+func TestWriteVPGeoCSV(t *testing.T) {
+	set, err := vp.NewSet(
+		[]vp.Collector{
+			{Name: "rc", ID: netip.MustParseAddr("10.0.0.1"), Country: "US"},
+			{Name: "mh", ID: netip.MustParseAddr("10.0.0.2"), Country: "NL", MultiHop: true},
+		},
+		[]vp.VP{
+			{Index: 0, Addr: netip.MustParseAddr("10.1.0.1"), AS: 3356, Collector: "rc"},
+			{Index: 1, Addr: netip.MustParseAddr("10.1.0.2"), AS: 1299, Collector: "mh", Feed: vp.CustomerFeed},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVPGeoCSV(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, &buf)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[1][4] != "US" || rows[2][4] != "" {
+		t.Errorf("countries = %q / %q (multi-hop must be blank)", rows[1][4], rows[2][4])
+	}
+	if rows[2][5] != "customer" {
+		t.Errorf("feed = %q", rows[2][5])
+	}
+}
+
+func TestWritePathsCSV(t *testing.T) {
+	ds := metrictest.Dataset([]countries.Code{"US"}, []metrictest.Rec{
+		{VP: 0, Prefix: "9.0.0.0/24", PrefixCountry: "AU", Path: []uint32{1, 5, 100}},
+		{VP: 0, Prefix: "9.1.0.0/24", PrefixCountry: "AU", Path: []uint32{1, 200}},
+	})
+	var buf bytes.Buffer
+	if err := WritePathsCSV(&buf, ds, 0); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, &buf)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[1][3] != "1 5 100" {
+		t.Errorf("path = %q", rows[1][3])
+	}
+	// Limit truncates.
+	buf.Reset()
+	if err := WritePathsCSV(&buf, ds, 1); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parse(t, &buf); len(rows) != 2 {
+		t.Errorf("limited rows = %v", rows)
+	}
+}
+
+func TestWriteGeoStatsCSV(t *testing.T) {
+	var db geoloc.DB
+	db.Add(netx.MustPrefix("1.0.0.0/8"), "US")
+	tbl := geoloc.GeolocatePrefixes(&db, []netip.Prefix{netx.MustPrefix("1.0.0.0/16")}, 0.5)
+	var buf bytes.Buffer
+	if err := WriteGeoStatsCSV(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, &buf)
+	if len(rows) != 2 || rows[1][0] != "US" || rows[1][1] != "1" {
+		t.Errorf("rows = %v", rows)
+	}
+}

@@ -1,0 +1,204 @@
+package geoloc
+
+import (
+	"net/netip"
+	"testing"
+
+	"countryrank/internal/countries"
+	"countryrank/internal/netx"
+)
+
+func TestCountryOf(t *testing.T) {
+	var db DB
+	db.Add(netx.MustPrefix("1.0.0.0/8"), "US")
+	db.Add(netx.MustPrefix("1.2.0.0/16"), "CA")
+
+	if c, ok := db.CountryOf(netip.MustParseAddr("1.1.1.1")); !ok || c != "US" {
+		t.Errorf("1.1.1.1 = %v,%v", c, ok)
+	}
+	if c, ok := db.CountryOf(netip.MustParseAddr("1.2.3.4")); !ok || c != "CA" {
+		t.Errorf("1.2.3.4 = %v,%v (more specific must win)", c, ok)
+	}
+	if _, ok := db.CountryOf(netip.MustParseAddr("9.9.9.9")); ok {
+		t.Error("uncovered address should miss")
+	}
+}
+
+func TestWeightByCountry(t *testing.T) {
+	var db DB
+	db.Add(netx.MustPrefix("1.0.0.0/8"), "US")
+	db.Add(netx.MustPrefix("1.0.0.0/10"), "CA") // first quarter of the /8
+
+	acc := map[countries.Code]uint64{}
+	db.WeightByCountry(netx.MustPrefix("1.0.0.0/8"), acc)
+	if acc["CA"] != 1<<22 {
+		t.Errorf("CA weight = %d, want %d", acc["CA"], 1<<22)
+	}
+	if acc["US"] != 3<<22 {
+		t.Errorf("US weight = %d, want %d", acc["US"], 3<<22)
+	}
+
+	// A block with no DB entry at all accumulates under "".
+	acc = map[countries.Code]uint64{}
+	db.WeightByCountry(netx.MustPrefix("7.0.0.0/24"), acc)
+	if acc[""] != 256 {
+		t.Errorf("unlocatable weight = %d", acc[""])
+	}
+}
+
+func buildTestDB() *DB {
+	var db DB
+	db.Add(netx.MustPrefix("1.0.0.0/8"), "US")
+	db.Add(netx.MustPrefix("2.0.0.0/8"), "JP")
+	return &db
+}
+
+func TestGeolocateMajority(t *testing.T) {
+	db := buildTestDB()
+	// 75% US / 25% JP.
+	db.Add(netx.MustPrefix("1.0.192.0/18"), "JP")
+	tbl := GeolocatePrefixes(db, []netip.Prefix{netx.MustPrefix("1.0.0.0/16")}, 0.5)
+	g := tbl.ByPrefix[netx.MustPrefix("1.0.0.0/16")]
+	if g.Reason != NotFiltered || g.Country != "US" {
+		t.Fatalf("got %+v, want US", g)
+	}
+	if g.Majority < 0.74 || g.Majority > 0.76 {
+		t.Errorf("majority = %f", g.Majority)
+	}
+	if c, ok := tbl.Country(netx.MustPrefix("1.0.0.0/16")); !ok || c != "US" {
+		t.Errorf("Country = %v,%v", c, ok)
+	}
+}
+
+func TestGeolocateNoConsensus(t *testing.T) {
+	db := buildTestDB()
+	// JP 50%, DE 25%, US 25%: an exact half is not "above" the 50%
+	// threshold (Appendix B), so the prefix is filtered.
+	db.Add(netx.MustPrefix("1.1.128.0/18"), "JP")
+	db.Add(netx.MustPrefix("1.1.192.0/18"), "DE")
+	db.Add(netx.MustPrefix("1.1.64.0/18"), "JP")
+	tbl := GeolocatePrefixes(db, []netip.Prefix{netx.MustPrefix("1.1.0.0/16")}, 0.5)
+	g := tbl.ByPrefix[netx.MustPrefix("1.1.0.0/16")]
+	if g.Reason != NoConsensus {
+		t.Fatalf("got %+v, want no consensus", g)
+	}
+	if g.Plurality != "JP" {
+		t.Errorf("plurality = %v, want JP at 50%%", g.Plurality)
+	}
+	if _, ok := tbl.Country(netx.MustPrefix("1.1.0.0/16")); ok {
+		t.Error("filtered prefix should have no country")
+	}
+	// With a lower threshold, the same prefix passes (Figure 8's sweep).
+	tbl2 := GeolocatePrefixes(db, []netip.Prefix{netx.MustPrefix("1.1.0.0/16")}, 0.3)
+	if g2 := tbl2.ByPrefix[netx.MustPrefix("1.1.0.0/16")]; g2.Reason != NotFiltered || g2.Country != "JP" {
+		t.Errorf("threshold 0.3: %+v", g2)
+	}
+}
+
+func TestGeolocateCoveredByMoreSpecifics(t *testing.T) {
+	db := buildTestDB()
+	announced := []netip.Prefix{
+		netx.MustPrefix("1.4.0.0/15"),
+		netx.MustPrefix("1.4.0.0/16"),
+		netx.MustPrefix("1.5.0.0/16"),
+	}
+	tbl := GeolocatePrefixes(db, announced, 0.5)
+	if g := tbl.ByPrefix[netx.MustPrefix("1.4.0.0/15")]; g.Reason != CoveredByMoreSpecifics {
+		t.Fatalf("parent: %+v", g)
+	}
+	for _, p := range announced[1:] {
+		if g := tbl.ByPrefix[p]; g.Reason != NotFiltered || g.Country != "US" {
+			t.Errorf("child %v: %+v", p, g)
+		}
+	}
+	hist := tbl.FilteredLengthHistogram()
+	if hist[CoveredByMoreSpecifics][15] != 1 {
+		t.Errorf("histogram = %v", hist)
+	}
+}
+
+func TestGeolocatePartialCoverageUsesOwnBlocks(t *testing.T) {
+	db := buildTestDB()
+	// Parent /15 half-covered by a /16 in another country: the parent's
+	// own remaining block decides its geolocation.
+	db.Add(netx.MustPrefix("1.6.0.0/16"), "JP")
+	announced := []netip.Prefix{netx.MustPrefix("1.6.0.0/15"), netx.MustPrefix("1.6.0.0/16")}
+	tbl := GeolocatePrefixes(db, announced, 0.5)
+	parent := tbl.ByPrefix[netx.MustPrefix("1.6.0.0/15")]
+	// Its only uncovered block is 1.7.0.0/16, all US.
+	if parent.Reason != NotFiltered || parent.Country != "US" || parent.Majority != 1.0 {
+		t.Fatalf("parent: %+v", parent)
+	}
+	child := tbl.ByPrefix[netx.MustPrefix("1.6.0.0/16")]
+	if child.Country != "JP" {
+		t.Fatalf("child: %+v", child)
+	}
+}
+
+func TestCountryStats(t *testing.T) {
+	db := buildTestDB()
+	db.Add(netx.MustPrefix("1.1.64.0/18"), "JP")
+	db.Add(netx.MustPrefix("1.1.128.0/18"), "JP")
+	db.Add(netx.MustPrefix("1.1.192.0/18"), "DE")
+	announced := []netip.Prefix{
+		netx.MustPrefix("1.0.0.0/16"), // clean US
+		netx.MustPrefix("1.1.0.0/16"), // 25 US / 50 JP / 25 DE → filtered, plurality JP
+		netx.MustPrefix("2.0.0.0/16"), // clean JP
+	}
+	tbl := GeolocatePrefixes(db, announced, 0.51)
+	stats := tbl.CountryStats()
+	byC := map[countries.Code]CountryStat{}
+	for _, s := range stats {
+		byC[s.Country] = s
+	}
+	us := byC["US"]
+	if us.Prefixes != 1 || us.Addresses != 65536 || us.FilteredPrefixes != 0 {
+		t.Errorf("US stat = %+v", us)
+	}
+	jp := byC["JP"]
+	if jp.Prefixes != 1 || jp.FilteredPrefixes != 1 || jp.FilteredAddresses != 65536 {
+		t.Errorf("JP stat = %+v", jp)
+	}
+	if got := jp.PctPrefixesFiltered(); got != 50 {
+		t.Errorf("JP pct prefixes filtered = %f", got)
+	}
+	if got := jp.PctAddressesFiltered(); got != 50 {
+		t.Errorf("JP pct addresses filtered = %f", got)
+	}
+	if (CountryStat{}).PctPrefixesFiltered() != 0 {
+		t.Error("empty stat should be 0%")
+	}
+}
+
+func TestThresholdSweepMonotonic(t *testing.T) {
+	db := buildTestDB()
+	db.Add(netx.MustPrefix("1.1.0.0/17"), "JP")
+	db.Add(netx.MustPrefix("1.2.0.0/18"), "JP")
+	announced := []netip.Prefix{
+		netx.MustPrefix("1.0.0.0/16"), netx.MustPrefix("1.1.0.0/16"),
+		netx.MustPrefix("1.2.0.0/16"), netx.MustPrefix("2.0.0.0/16"),
+	}
+	prev := -1
+	for _, th := range []float64{0.2, 0.4, 0.6, 0.8, 0.95} {
+		tbl := GeolocatePrefixes(db, announced, th)
+		ok := 0
+		for _, g := range tbl.ByPrefix {
+			if g.Reason == NotFiltered {
+				ok++
+			}
+		}
+		if prev >= 0 && ok > prev {
+			t.Fatalf("passing prefixes increased from %d to %d as threshold rose to %f", prev, ok, th)
+		}
+		prev = ok
+	}
+}
+
+func TestFilterReasonString(t *testing.T) {
+	if NotFiltered.String() != "ok" || CoveredByMoreSpecifics.String() == "" || NoConsensus.String() == "" {
+		t.Error("FilterReason strings")
+	}
+	if FilterReason(99).String() == "" {
+		t.Error("unknown reason should still render")
+	}
+}

@@ -1,0 +1,119 @@
+// Package hegemony implements the AS hegemony metric (§1.2, Figure 2): the
+// likelihood that an AS lies on a path toward a set of prefixes. For each
+// vantage point, every AS gets the address-weighted fraction of the VP's
+// paths that contain it; the final score is the mean of the per-VP values
+// after trimming the top and bottom 10%, which damps the bias of VPs that
+// are topologically very near or very far from the AS.
+package hegemony
+
+import (
+	"sort"
+
+	"countryrank/internal/asn"
+	"countryrank/internal/sanitize"
+)
+
+// DefaultTrim is the fraction trimmed from each end of the per-VP score
+// distribution, following Fontugne et al.
+const DefaultTrim = 0.10
+
+// Scores holds hegemony values in [0, 1] per AS.
+type Scores struct {
+	Hegemony map[asn.ASN]float64
+	// VPCount is the number of vantage points contributing to the view;
+	// each AS's score averages over all of them (zeros included).
+	VPCount int
+}
+
+// Value returns a's hegemony (0 when unseen).
+func (s Scores) Value(a asn.ASN) float64 { return s.Hegemony[a] }
+
+// Compute calculates hegemony over the given accepted-record positions of
+// ds (nil means every record). trim is the per-side trim fraction; negative
+// values select DefaultTrim, zero disables trimming (the ablation case).
+func Compute(ds *sanitize.Dataset, recs []int32, trim float64) Scores {
+	if trim < 0 {
+		trim = DefaultTrim
+	}
+
+	// Per-VP accumulation. VP indexes are dense and small.
+	nVP := len(ds.VPCountry)
+	totals := make([]uint64, nVP)            // total path weight per VP
+	perVP := make([]map[asn.ASN]uint64, nVP) // per VP, per AS, weight containing it
+
+	visit := func(i int) {
+		vpIdx, pfxIdx, path := ds.Record(i)
+		w := ds.Weight[pfxIdx]
+		totals[vpIdx] += w
+		m := perVP[vpIdx]
+		if m == nil {
+			m = map[asn.ASN]uint64{}
+			perVP[vpIdx] = m
+		}
+		// Count each AS once per path even if prepending survived.
+		var last asn.ASN
+		for j, a := range path {
+			if j > 0 && a == last {
+				continue
+			}
+			m[a] += w
+			last = a
+		}
+	}
+	if recs == nil {
+		for i := 0; i < ds.Len(); i++ {
+			visit(i)
+		}
+	} else {
+		for _, i := range recs {
+			visit(int(i))
+		}
+	}
+
+	// Gather the contributing VPs and per-AS value lists.
+	var vps []int
+	for v := 0; v < nVP; v++ {
+		if totals[v] > 0 {
+			vps = append(vps, v)
+		}
+	}
+	values := map[asn.ASN][]float64{}
+	for _, v := range vps {
+		for a, w := range perVP[v] {
+			values[a] = append(values[a], float64(w)/float64(totals[v]))
+		}
+	}
+
+	s := Scores{Hegemony: make(map[asn.ASN]float64, len(values)), VPCount: len(vps)}
+	for a, vals := range values {
+		s.Hegemony[a] = trimmedMean(vals, len(vps), trim)
+	}
+	return s
+}
+
+// trimmedMean pads vals with zeros up to n (VPs that never saw the AS),
+// sorts, trims floor(trim*n) entries from each end, and averages the rest.
+func trimmedMean(vals []float64, n int, trim float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	padded := make([]float64, n)
+	copy(padded, vals)
+	sort.Float64s(padded)
+	k := int(trim * float64(n))
+	if k == 0 && trim > 0 && n >= 3 {
+		// Figure 2's worked example drops one value from each end even with
+		// only three VPs; follow that convention for small views.
+		k = 1
+	}
+	lo, hi := k, n-k
+	if lo >= hi {
+		// Degenerate tiny-VP case: fall back to the plain mean.
+		lo, hi = 0, n
+	}
+	var sum float64
+	for _, v := range padded[lo:hi] {
+		sum += v
+	}
+	return sum / float64(hi-lo)
+}

@@ -1,0 +1,88 @@
+// Package ihr reimplements the Internet Health Report's simplified
+// country-level hegemony baseline, AHC (§1.2.1): AS hegemony is computed
+// per *origin AS* over all vantage points, and a country's score for AS a
+// is the unweighted mean of a's per-origin hegemony across the origin ASes
+// *registered* in that country — regardless of where those ASes' prefixes
+// geolocate, which is exactly the imprecision (§5.1.2's Amazon example) the
+// paper's prefix-based metrics fix.
+package ihr
+
+import (
+	"countryrank/internal/asn"
+	"countryrank/internal/countries"
+	"countryrank/internal/hegemony"
+	"countryrank/internal/sanitize"
+	"countryrank/internal/topology"
+)
+
+// Scores holds AHC values per AS for one country.
+type Scores struct {
+	AHC map[asn.ASN]float64
+	// Origins is the number of origin ASes registered in the country that
+	// the mean runs over.
+	Origins int
+}
+
+// Value returns a's AHC score.
+func (s Scores) Value(a asn.ASN) float64 { return s.AHC[a] }
+
+// Weighting selects how per-origin hegemony values aggregate into the
+// country score. IHR publishes both variants (§1.2.1); the paper uses the
+// AS-count weighting because its focus is infrastructure, not population.
+type Weighting uint8
+
+const (
+	// ByASCount weights every origin AS equally (the paper's choice).
+	ByASCount Weighting = iota
+	// ByUsers weights each origin AS by its estimated user population
+	// (IHR's APNIC-derived variant).
+	ByUsers
+)
+
+// Compute calculates AHC for one country over all accepted records with
+// equal per-AS weights. trim follows hegemony.Compute semantics.
+func Compute(ds *sanitize.Dataset, g *topology.Graph, country countries.Code, trim float64) Scores {
+	return ComputeWeighted(ds, g, country, trim, ByASCount)
+}
+
+// ComputeWeighted calculates AHC with the chosen origin weighting.
+func ComputeWeighted(ds *sanitize.Dataset, g *topology.Graph, country countries.Code, trim float64, weighting Weighting) Scores {
+	// Group accepted records by origin AS.
+	byOrigin := map[asn.ASN][]int32{}
+	for i := 0; i < ds.Len(); i++ {
+		_, pfxIdx, _ := ds.Record(i)
+		o := ds.Col.Origin[pfxIdx]
+		byOrigin[o] = append(byOrigin[o], int32(i))
+	}
+
+	sum := map[asn.ASN]float64{}
+	origins := 0
+	var totalWeight float64
+	for o, recs := range byOrigin {
+		node, ok := g.ByASN(o)
+		if !ok || node.Registered != country {
+			continue
+		}
+		w := 1.0
+		if weighting == ByUsers {
+			w = float64(node.Users)
+			if w <= 0 {
+				continue
+			}
+		}
+		origins++
+		totalWeight += w
+		hs := hegemony.Compute(ds, recs, trim)
+		for a, v := range hs.Hegemony {
+			sum[a] += w * v
+		}
+	}
+	s := Scores{AHC: make(map[asn.ASN]float64, len(sum)), Origins: origins}
+	if totalWeight == 0 {
+		return s
+	}
+	for a, v := range sum {
+		s.AHC[a] = v / totalWeight
+	}
+	return s
+}

@@ -1,0 +1,358 @@
+// Package mrt implements the MRT export format (RFC 6396) used by the
+// RouteViews and RIPE RIS collector projects, restricted to the
+// TABLE_DUMP_V2 records the ranking pipeline consumes: PEER_INDEX_TABLE
+// plus RIB_IPV4_UNICAST / RIB_IPV6_UNICAST.
+//
+// The simulator serializes its per-collector RIBs through this package and
+// the analysis pipeline parses them back, so the pipeline exercises the same
+// interchange format it would face on real collector archives.
+package mrt
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"countryrank/internal/asn"
+	"countryrank/internal/bgp"
+)
+
+// MRT record types and TABLE_DUMP_V2 subtypes (RFC 6396 §4, §4.3).
+const (
+	TypeTableDumpV2 = 13
+
+	SubtypePeerIndexTable = 1
+	SubtypeRIBIPv4Unicast = 2
+	SubtypeRIBIPv6Unicast = 4
+)
+
+// Peer identifies one vantage point in a PEER_INDEX_TABLE.
+type Peer struct {
+	BGPID netip.Addr // collector-assigned router ID (IPv4)
+	Addr  netip.Addr // the VP's peering address
+	AS    asn.ASN
+}
+
+// RIBEntry is one VP's best route for a prefix.
+type RIBEntry struct {
+	PeerIndex    uint16
+	OriginatedAt uint32 // seconds since epoch, as recorded by the collector
+	Attrs        bgp.AttrSet
+}
+
+// RIBRecord is a RIB_IPV4_UNICAST / RIB_IPV6_UNICAST record: every VP's best
+// route toward one prefix.
+type RIBRecord struct {
+	Seq     uint32
+	Prefix  netip.Prefix
+	Entries []RIBEntry
+}
+
+// Writer serializes TABLE_DUMP_V2 records. A PEER_INDEX_TABLE must be
+// written before any RIB records, mirroring collector dump layout.
+type Writer struct {
+	w         *bufio.Writer
+	timestamp uint32
+	seq       uint32
+	wrotePIT  bool
+}
+
+// NewWriter returns a Writer stamping every record with the given time.
+func NewWriter(w io.Writer, timestamp uint32) *Writer {
+	return &Writer{w: bufio.NewWriter(w), timestamp: timestamp}
+}
+
+// SetTimestamp changes the timestamp applied to subsequent records, for
+// update streams spanning time.
+func (w *Writer) SetTimestamp(ts uint32) { w.timestamp = ts }
+
+func (w *Writer) writeRecord(subtype uint16, body []byte) error {
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:], w.timestamp)
+	binary.BigEndian.PutUint16(hdr[4:], TypeTableDumpV2)
+	binary.BigEndian.PutUint16(hdr[6:], subtype)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(body)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(body)
+	return err
+}
+
+// WritePeerIndexTable writes the peer table. Peer order defines the
+// PeerIndex values RIB entries refer to.
+func (w *Writer) WritePeerIndexTable(collectorID netip.Addr, viewName string, peers []Peer) error {
+	if w.wrotePIT {
+		return errors.New("mrt: PEER_INDEX_TABLE already written")
+	}
+	if !collectorID.Is4() {
+		return errors.New("mrt: collector ID must be IPv4")
+	}
+	if len(peers) > 0xFFFF {
+		return fmt.Errorf("mrt: %d peers exceeds uint16", len(peers))
+	}
+	var b bytes.Buffer
+	id := collectorID.As4()
+	b.Write(id[:])
+	binary.Write(&b, binary.BigEndian, uint16(len(viewName)))
+	b.WriteString(viewName)
+	binary.Write(&b, binary.BigEndian, uint16(len(peers)))
+	for _, p := range peers {
+		if !p.BGPID.Is4() {
+			return errors.New("mrt: peer BGP ID must be IPv4")
+		}
+		// Peer type: bit 0 = IPv6 address, bit 1 = 4-byte AS (always set).
+		var pt byte = 0x02
+		if p.Addr.Is6() && !p.Addr.Is4In6() {
+			pt |= 0x01
+		}
+		b.WriteByte(pt)
+		bid := p.BGPID.As4()
+		b.Write(bid[:])
+		if pt&0x01 != 0 {
+			a := p.Addr.As16()
+			b.Write(a[:])
+		} else {
+			a := p.Addr.Unmap().As4()
+			b.Write(a[:])
+		}
+		binary.Write(&b, binary.BigEndian, uint32(p.AS))
+	}
+	w.wrotePIT = true
+	return w.writeRecord(SubtypePeerIndexTable, b.Bytes())
+}
+
+// WriteRIB writes one RIB record; sequence numbers are assigned in call
+// order. The prefix family selects the subtype.
+func (w *Writer) WriteRIB(prefix netip.Prefix, entries []RIBEntry) error {
+	if !w.wrotePIT {
+		return errors.New("mrt: PEER_INDEX_TABLE must precede RIB records")
+	}
+	if len(entries) > 0xFFFF {
+		return fmt.Errorf("mrt: %d entries exceeds uint16", len(entries))
+	}
+	var b bytes.Buffer
+	binary.Write(&b, binary.BigEndian, w.seq)
+	w.seq++
+	prefix = prefix.Masked()
+	b.WriteByte(byte(prefix.Bits()))
+	nbytes := (prefix.Bits() + 7) / 8
+	subtype := uint16(SubtypeRIBIPv4Unicast)
+	if prefix.Addr().Is4() {
+		a := prefix.Addr().As4()
+		b.Write(a[:nbytes])
+	} else {
+		subtype = SubtypeRIBIPv6Unicast
+		a := prefix.Addr().As16()
+		b.Write(a[:nbytes])
+	}
+	binary.Write(&b, binary.BigEndian, uint16(len(entries)))
+	for _, e := range entries {
+		attrs, err := e.Attrs.Marshal()
+		if err != nil {
+			return fmt.Errorf("mrt: entry attrs: %w", err)
+		}
+		if len(attrs) > 0xFFFF {
+			return errors.New("mrt: attributes exceed uint16 length")
+		}
+		binary.Write(&b, binary.BigEndian, e.PeerIndex)
+		binary.Write(&b, binary.BigEndian, e.OriginatedAt)
+		binary.Write(&b, binary.BigEndian, uint16(len(attrs)))
+		b.Write(attrs)
+	}
+	return w.writeRecord(subtype, b.Bytes())
+}
+
+// Flush writes any buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Record is a decoded MRT record: exactly one of PeerIndexTable, RIB or
+// BGP4MP is non-nil.
+type Record struct {
+	Timestamp      uint32
+	PeerIndexTable *PeerIndexTable
+	RIB            *RIBRecord
+	BGP4MP         *BGP4MP
+}
+
+// PeerIndexTable is the decoded PEER_INDEX_TABLE.
+type PeerIndexTable struct {
+	CollectorID netip.Addr
+	ViewName    string
+	Peers       []Peer
+}
+
+// Reader parses TABLE_DUMP_V2 records from a stream.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// Next returns the next record, or io.EOF at end of stream. Records of
+// types other than TABLE_DUMP_V2 are rejected.
+func (r *Reader) Next() (*Record, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("mrt: header: %w", err)
+	}
+	ts := binary.BigEndian.Uint32(hdr[0:])
+	typ := binary.BigEndian.Uint16(hdr[4:])
+	sub := binary.BigEndian.Uint16(hdr[6:])
+	length := binary.BigEndian.Uint32(hdr[8:])
+	if typ != TypeTableDumpV2 && typ != TypeBGP4MP {
+		return nil, fmt.Errorf("mrt: unsupported record type %d", typ)
+	}
+	if length > 1<<26 {
+		return nil, fmt.Errorf("mrt: implausible record length %d", length)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		return nil, fmt.Errorf("mrt: body: %w", err)
+	}
+	rec := &Record{Timestamp: ts}
+	if typ == TypeBGP4MP {
+		if sub != SubtypeBGP4MPMessageAS4 {
+			return nil, fmt.Errorf("mrt: unsupported BGP4MP subtype %d", sub)
+		}
+		m, err := decodeBGP4MP(body)
+		if err != nil {
+			return nil, err
+		}
+		rec.BGP4MP = m
+		return rec, nil
+	}
+	switch sub {
+	case SubtypePeerIndexTable:
+		pit, err := decodePeerIndexTable(body)
+		if err != nil {
+			return nil, err
+		}
+		rec.PeerIndexTable = pit
+	case SubtypeRIBIPv4Unicast, SubtypeRIBIPv6Unicast:
+		rib, err := decodeRIB(body, sub == SubtypeRIBIPv6Unicast)
+		if err != nil {
+			return nil, err
+		}
+		rec.RIB = rib
+	default:
+		return nil, fmt.Errorf("mrt: unsupported TABLE_DUMP_V2 subtype %d", sub)
+	}
+	return rec, nil
+}
+
+func decodePeerIndexTable(b []byte) (*PeerIndexTable, error) {
+	if len(b) < 8 {
+		return nil, errors.New("mrt: truncated PEER_INDEX_TABLE")
+	}
+	pit := &PeerIndexTable{CollectorID: netip.AddrFrom4([4]byte(b[:4]))}
+	nameLen := int(binary.BigEndian.Uint16(b[4:6]))
+	b = b[6:]
+	if len(b) < nameLen+2 {
+		return nil, errors.New("mrt: truncated view name")
+	}
+	pit.ViewName = string(b[:nameLen])
+	b = b[nameLen:]
+	n := int(binary.BigEndian.Uint16(b[:2]))
+	b = b[2:]
+	pit.Peers = make([]Peer, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 5 {
+			return nil, errors.New("mrt: truncated peer entry")
+		}
+		pt := b[0]
+		var p Peer
+		p.BGPID = netip.AddrFrom4([4]byte(b[1:5]))
+		b = b[5:]
+		if pt&0x01 != 0 {
+			if len(b) < 16 {
+				return nil, errors.New("mrt: truncated v6 peer address")
+			}
+			p.Addr = netip.AddrFrom16([16]byte(b[:16]))
+			b = b[16:]
+		} else {
+			if len(b) < 4 {
+				return nil, errors.New("mrt: truncated v4 peer address")
+			}
+			p.Addr = netip.AddrFrom4([4]byte(b[:4]))
+			b = b[4:]
+		}
+		if pt&0x02 != 0 {
+			if len(b) < 4 {
+				return nil, errors.New("mrt: truncated peer AS")
+			}
+			p.AS = asn.ASN(binary.BigEndian.Uint32(b[:4]))
+			b = b[4:]
+		} else {
+			if len(b) < 2 {
+				return nil, errors.New("mrt: truncated peer AS")
+			}
+			p.AS = asn.ASN(binary.BigEndian.Uint16(b[:2]))
+			b = b[2:]
+		}
+		pit.Peers = append(pit.Peers, p)
+	}
+	return pit, nil
+}
+
+func decodeRIB(b []byte, v6 bool) (*RIBRecord, error) {
+	if len(b) < 5 {
+		return nil, errors.New("mrt: truncated RIB record")
+	}
+	rib := &RIBRecord{Seq: binary.BigEndian.Uint32(b[:4])}
+	bits := int(b[4])
+	b = b[5:]
+	max := 32
+	if v6 {
+		max = 128
+	}
+	if bits > max {
+		return nil, fmt.Errorf("mrt: prefix length %d exceeds %d", bits, max)
+	}
+	nbytes := (bits + 7) / 8
+	if len(b) < nbytes+2 {
+		return nil, errors.New("mrt: truncated prefix")
+	}
+	if v6 {
+		var a [16]byte
+		copy(a[:], b[:nbytes])
+		rib.Prefix = netip.PrefixFrom(netip.AddrFrom16(a), bits).Masked()
+	} else {
+		var a [4]byte
+		copy(a[:], b[:nbytes])
+		rib.Prefix = netip.PrefixFrom(netip.AddrFrom4(a), bits).Masked()
+	}
+	b = b[nbytes:]
+	n := int(binary.BigEndian.Uint16(b[:2]))
+	b = b[2:]
+	rib.Entries = make([]RIBEntry, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 8 {
+			return nil, errors.New("mrt: truncated RIB entry")
+		}
+		var e RIBEntry
+		e.PeerIndex = binary.BigEndian.Uint16(b[:2])
+		e.OriginatedAt = binary.BigEndian.Uint32(b[2:6])
+		alen := int(binary.BigEndian.Uint16(b[6:8]))
+		b = b[8:]
+		if len(b) < alen {
+			return nil, errors.New("mrt: truncated RIB entry attributes")
+		}
+		attrs, err := bgp.UnmarshalAttrs(b[:alen])
+		if err != nil {
+			return nil, fmt.Errorf("mrt: entry attrs: %w", err)
+		}
+		e.Attrs = attrs
+		b = b[alen:]
+		rib.Entries = append(rib.Entries, e)
+	}
+	return rib, nil
+}

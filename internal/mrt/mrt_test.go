@@ -1,0 +1,215 @@
+package mrt
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"countryrank/internal/asn"
+	"countryrank/internal/bgp"
+	"countryrank/internal/netx"
+)
+
+func testPeers() []Peer {
+	return []Peer{
+		{BGPID: netip.MustParseAddr("10.0.0.1"), Addr: netip.MustParseAddr("203.0.113.1"), AS: 3356},
+		{BGPID: netip.MustParseAddr("10.0.0.2"), Addr: netip.MustParseAddr("2001:db8::7"), AS: 1299},
+	}
+}
+
+func attrs(p ...uint32) bgp.AttrSet {
+	path := make(bgp.Path, len(p))
+	for i, a := range p {
+		path[i] = asn.ASN(a)
+	}
+	return bgp.AttrSet{
+		Origin:  bgp.OriginIGP,
+		ASPath:  bgp.SequencePath(path),
+		NextHop: netip.MustParseAddr("192.0.2.1"),
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1617235200) // 2021-04-01
+	if err := w.WritePeerIndexTable(netip.MustParseAddr("198.51.100.1"), "route-views.test", testPeers()); err != nil {
+		t.Fatalf("WritePeerIndexTable: %v", err)
+	}
+	if err := w.WriteRIB(netx.MustPrefix("10.1.0.0/16"), []RIBEntry{
+		{PeerIndex: 0, OriginatedAt: 100, Attrs: attrs(3356, 1221)},
+		{PeerIndex: 1, OriginatedAt: 200, Attrs: attrs(1299, 4826, 1221)},
+	}); err != nil {
+		t.Fatalf("WriteRIB v4: %v", err)
+	}
+	if err := w.WriteRIB(netx.MustPrefix("2001:db8:5::/48"), []RIBEntry{
+		{PeerIndex: 1, OriginatedAt: 300, Attrs: bgp.AttrSet{ASPath: bgp.SequencePath(bgp.Path{2914, 4713})}},
+	}); err != nil {
+		t.Fatalf("WriteRIB v6: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	r := NewReader(&buf)
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatalf("Next 1: %v", err)
+	}
+	pit := rec.PeerIndexTable
+	if pit == nil {
+		t.Fatal("first record should be PEER_INDEX_TABLE")
+	}
+	if rec.Timestamp != 1617235200 {
+		t.Errorf("timestamp = %d", rec.Timestamp)
+	}
+	if pit.ViewName != "route-views.test" || pit.CollectorID != netip.MustParseAddr("198.51.100.1") {
+		t.Errorf("pit header = %+v", pit)
+	}
+	if len(pit.Peers) != 2 {
+		t.Fatalf("peers = %d", len(pit.Peers))
+	}
+	if pit.Peers[0].AS != 3356 || pit.Peers[0].Addr != netip.MustParseAddr("203.0.113.1") {
+		t.Errorf("peer 0 = %+v", pit.Peers[0])
+	}
+	if pit.Peers[1].Addr != netip.MustParseAddr("2001:db8::7") {
+		t.Errorf("peer 1 v6 addr = %+v", pit.Peers[1])
+	}
+
+	rec, err = r.Next()
+	if err != nil {
+		t.Fatalf("Next 2: %v", err)
+	}
+	rib := rec.RIB
+	if rib == nil || rib.Prefix != netx.MustPrefix("10.1.0.0/16") || rib.Seq != 0 {
+		t.Fatalf("rib 1 = %+v", rib)
+	}
+	if len(rib.Entries) != 2 {
+		t.Fatalf("entries = %d", len(rib.Entries))
+	}
+	if !rib.Entries[1].Attrs.PathOf().Equal(bgp.Path{1299, 4826, 1221}) {
+		t.Errorf("entry path = %v", rib.Entries[1].Attrs.PathOf())
+	}
+	if rib.Entries[0].OriginatedAt != 100 {
+		t.Errorf("originated = %d", rib.Entries[0].OriginatedAt)
+	}
+
+	rec, err = r.Next()
+	if err != nil {
+		t.Fatalf("Next 3: %v", err)
+	}
+	if rec.RIB == nil || rec.RIB.Prefix != netx.MustPrefix("2001:db8:5::/48") || rec.RIB.Seq != 1 {
+		t.Fatalf("rib 2 = %+v", rec.RIB)
+	}
+
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestWriterOrderEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	if err := w.WriteRIB(netx.MustPrefix("10.0.0.0/8"), nil); err == nil {
+		t.Error("RIB before PEER_INDEX_TABLE must fail")
+	}
+	if err := w.WritePeerIndexTable(netip.MustParseAddr("10.0.0.1"), "v", nil); err != nil {
+		t.Fatalf("pit: %v", err)
+	}
+	if err := w.WritePeerIndexTable(netip.MustParseAddr("10.0.0.1"), "v", nil); err == nil {
+		t.Error("second PEER_INDEX_TABLE must fail")
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	// Unsupported type.
+	raw := make([]byte, 12)
+	raw[5] = 12 // TABLE_DUMP (v1)
+	if _, err := NewReader(bytes.NewReader(raw)).Next(); err == nil {
+		t.Error("v1 TABLE_DUMP should be rejected")
+	}
+	// Truncated header.
+	if _, err := NewReader(bytes.NewReader(raw[:5])).Next(); err == nil {
+		t.Error("truncated header should fail")
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	w.WritePeerIndexTable(netip.MustParseAddr("10.0.0.1"), "v", testPeers())
+	w.Flush()
+	all := buf.Bytes()
+	if _, err := NewReader(bytes.NewReader(all[:len(all)-3])).Next(); err == nil {
+		t.Error("truncated body should fail")
+	}
+}
+
+func TestRoundTripRandomRIBs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 7)
+	peers := make([]Peer, 30)
+	for i := range peers {
+		peers[i] = Peer{
+			BGPID: netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)}),
+			Addr:  netip.AddrFrom4([4]byte{172, 16, 0, byte(i + 1)}),
+			AS:    asn.ASN(rng.Intn(1 << 17)),
+		}
+	}
+	if err := w.WritePeerIndexTable(netip.MustParseAddr("10.9.9.9"), "rand", peers); err != nil {
+		t.Fatal(err)
+	}
+	type wantRIB struct {
+		pfx     netip.Prefix
+		entries []RIBEntry
+	}
+	var want []wantRIB
+	for i := 0; i < 100; i++ {
+		a := rng.Uint32()
+		pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}), 8+rng.Intn(25)).Masked()
+		n := 1 + rng.Intn(5)
+		es := make([]RIBEntry, n)
+		for j := range es {
+			pl := 1 + rng.Intn(6)
+			p := make(bgp.Path, pl)
+			for k := range p {
+				p[k] = asn.ASN(1 + rng.Intn(1<<18))
+			}
+			es[j] = RIBEntry{
+				PeerIndex:    uint16(rng.Intn(len(peers))),
+				OriginatedAt: rng.Uint32(),
+				Attrs:        bgp.AttrSet{Origin: bgp.OriginCode(rng.Intn(3)), ASPath: bgp.SequencePath(p)},
+			}
+		}
+		want = append(want, wantRIB{pfx, es})
+		if err := w.WriteRIB(pfx, es); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+
+	r := NewReader(&buf)
+	if _, err := r.Next(); err != nil { // PIT
+		t.Fatal(err)
+	}
+	for i, wr := range want {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("rib %d: %v", i, err)
+		}
+		rib := rec.RIB
+		if rib.Prefix != wr.pfx || int(rib.Seq) != i || len(rib.Entries) != len(wr.entries) {
+			t.Fatalf("rib %d mismatch: %+v", i, rib)
+		}
+		for j, e := range rib.Entries {
+			we := wr.entries[j]
+			if e.PeerIndex != we.PeerIndex || e.OriginatedAt != we.OriginatedAt ||
+				!e.Attrs.PathOf().Equal(we.Attrs.PathOf()) || e.Attrs.Origin != we.Attrs.Origin {
+				t.Fatalf("rib %d entry %d mismatch", i, j)
+			}
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}

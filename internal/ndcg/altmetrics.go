@@ -1,0 +1,70 @@
+package ndcg
+
+import "countryrank/internal/asn"
+
+// The paper justifies NDCG over simpler list-comparison measures (§4.1);
+// KendallTau and Jaccard implement the obvious alternatives so the choice
+// can be ablated: Jaccard sees only membership (no ordering), Kendall tau
+// sees only ordering of the common members (no relevance weighting), while
+// NDCG weighs both, emphasizing the head of the list.
+
+// KendallTau computes the rank correlation of the two top-k lists over
+// their common members: the fraction of concordant minus discordant pairs,
+// in [-1, 1]. Lists with fewer than two common members return 0.
+func KendallTau(a, b []asn.ASN, k int) float64 {
+	a, b = topK(a, k), topK(b, k)
+	posA := map[asn.ASN]int{}
+	for i, x := range a {
+		posA[x] = i
+	}
+	var common []asn.ASN
+	posB := map[asn.ASN]int{}
+	for i, x := range b {
+		if _, ok := posA[x]; ok {
+			posB[x] = i
+			common = append(common, x)
+		}
+	}
+	n := len(common)
+	if n < 2 {
+		return 0
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			x, y := common[i], common[j]
+			da := posA[x] - posA[y]
+			db := posB[x] - posB[y]
+			if da*db > 0 {
+				concordant++
+			} else if da*db < 0 {
+				discordant++
+			}
+		}
+	}
+	pairs := n * (n - 1) / 2
+	return float64(concordant-discordant) / float64(pairs)
+}
+
+// Jaccard returns the membership overlap of the two top-k lists:
+// |A ∩ B| / |A ∪ B|, in [0, 1]. Two empty lists return 1.
+func Jaccard(a, b []asn.ASN, k int) float64 {
+	a, b = topK(a, k), topK(b, k)
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inA := map[asn.ASN]bool{}
+	for _, x := range a {
+		inA[x] = true
+	}
+	union := len(a)
+	inter := 0
+	for _, x := range b {
+		if inA[x] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	return float64(inter) / float64(union)
+}

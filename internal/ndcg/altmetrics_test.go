@@ -1,0 +1,69 @@
+package ndcg
+
+import (
+	"math"
+	"testing"
+
+	"countryrank/internal/asn"
+)
+
+func TestKendallTau(t *testing.T) {
+	a := []asn.ASN{1, 2, 3, 4}
+	if got := KendallTau(a, a, 10); got != 1 {
+		t.Errorf("identical lists tau = %f", got)
+	}
+	rev := []asn.ASN{4, 3, 2, 1}
+	if got := KendallTau(a, rev, 10); got != -1 {
+		t.Errorf("reversed lists tau = %f", got)
+	}
+	// One adjacent swap among 4 elements: 5 concordant, 1 discordant → 2/3.
+	swapped := []asn.ASN{2, 1, 3, 4}
+	if got := KendallTau(a, swapped, 10); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("one-swap tau = %f", got)
+	}
+	// Disjoint or tiny overlaps return 0.
+	if KendallTau(a, []asn.ASN{9, 8}, 10) != 0 {
+		t.Error("disjoint lists should give 0")
+	}
+	if KendallTau(a, []asn.ASN{3}, 10) != 0 {
+		t.Error("single common member should give 0")
+	}
+	// k truncation applies before comparison.
+	if got := KendallTau(a, rev, 1); got != 0 {
+		t.Errorf("k=1 tau = %f (no pairs)", got)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := []asn.ASN{1, 2, 3}
+	if Jaccard(a, a, 10) != 1 {
+		t.Error("identical lists")
+	}
+	if Jaccard(a, []asn.ASN{4, 5, 6}, 10) != 0 {
+		t.Error("disjoint lists")
+	}
+	if got := Jaccard(a, []asn.ASN{2, 3, 4}, 10); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("half-overlap = %f", got)
+	}
+	if Jaccard(nil, nil, 10) != 1 {
+		t.Error("two empty lists are identical")
+	}
+	// Ordering is invisible to Jaccard — the property NDCG adds.
+	if Jaccard(a, []asn.ASN{3, 2, 1}, 10) != 1 {
+		t.Error("Jaccard must ignore order")
+	}
+}
+
+// TestNDCGSeesWhatJaccardMisses pins the §4.1 rationale: a reordered top
+// list keeps Jaccard at 1 while NDCG drops.
+func TestNDCGSeesWhatJaccardMisses(t *testing.T) {
+	full := []asn.ASN{1, 2, 3}
+	vals := map[asn.ASN]float64{1: 0.9, 2: 0.5, 3: 0.1}
+	reordered := []asn.ASN{3, 2, 1}
+	if Jaccard(full, reordered, 3) != 1 {
+		t.Fatal("setup: same membership")
+	}
+	if NDCG(reordered, vals, full, 3) >= 1 {
+		t.Error("NDCG must penalize the reordering")
+	}
+}

@@ -1,0 +1,59 @@
+// Package ndcg implements the Normalized Discounted Cumulative Gain the
+// paper uses to measure ranking stability under vantage-point downsampling
+// (§4.1): a sample-based top-k ranking is scored by the full-view metric
+// values of the ASes it places at each rank, discounted logarithmically,
+// and normalized by the full ranking's own DCG.
+package ndcg
+
+import (
+	"math"
+
+	"countryrank/internal/asn"
+)
+
+// DefaultK is the top-list size the paper evaluates (TRA = top 10 ASes).
+const DefaultK = 10
+
+// DCG computes Σ rel_p / log2(p+1) over the given relevances in rank order
+// (p is 1-based).
+func DCG(rels []float64) float64 {
+	var sum float64
+	for i, r := range rels {
+		sum += r / math.Log2(float64(i)+2)
+	}
+	return sum
+}
+
+// NDCG scores a sample-based ranking against the full view. sampleOrder is
+// the sample's top ASes (best first); fullValue maps each AS to its
+// full-view metric value (the relevance); fullOrder is the full view's own
+// ranking. Only the first k entries of each are used. Returns 0 when the
+// full ranking is empty or has zero DCG.
+func NDCG(sampleOrder []asn.ASN, fullValue map[asn.ASN]float64, fullOrder []asn.ASN, k int) float64 {
+	if k <= 0 {
+		k = DefaultK
+	}
+	sample := topK(sampleOrder, k)
+	full := topK(fullOrder, k)
+
+	rels := make([]float64, len(sample))
+	for i, a := range sample {
+		rels[i] = fullValue[a]
+	}
+	ideal := make([]float64, len(full))
+	for i, a := range full {
+		ideal[i] = fullValue[a]
+	}
+	fd := DCG(ideal)
+	if fd == 0 {
+		return 0
+	}
+	return DCG(rels) / fd
+}
+
+func topK(xs []asn.ASN, k int) []asn.ASN {
+	if len(xs) > k {
+		return xs[:k]
+	}
+	return xs
+}

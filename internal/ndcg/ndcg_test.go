@@ -1,0 +1,97 @@
+package ndcg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"countryrank/internal/asn"
+)
+
+func TestDCG(t *testing.T) {
+	// DCG of [3, 2, 1] = 3/log2(2) + 2/log2(3) + 1/log2(4).
+	want := 3.0 + 2.0/math.Log2(3) + 0.5
+	if got := DCG([]float64{3, 2, 1}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("DCG = %f, want %f", got, want)
+	}
+	if DCG(nil) != 0 {
+		t.Error("empty DCG should be 0")
+	}
+}
+
+func TestNDCGPerfect(t *testing.T) {
+	full := []asn.ASN{1, 2, 3}
+	vals := map[asn.ASN]float64{1: 0.5, 2: 0.3, 3: 0.1}
+	if got := NDCG(full, vals, full, 10); math.Abs(got-1) > 1e-12 {
+		t.Errorf("identical ranking NDCG = %f", got)
+	}
+}
+
+func TestNDCGDegradesWithDisorder(t *testing.T) {
+	full := []asn.ASN{1, 2, 3, 4}
+	vals := map[asn.ASN]float64{1: 0.9, 2: 0.5, 3: 0.2, 4: 0.1}
+	swapTop := NDCG([]asn.ASN{2, 1, 3, 4}, vals, full, 10)
+	swapTail := NDCG([]asn.ASN{1, 2, 4, 3}, vals, full, 10)
+	if swapTop >= 1 || swapTail >= 1 {
+		t.Errorf("disorder should cost: top=%f tail=%f", swapTop, swapTail)
+	}
+	if swapTop >= swapTail {
+		t.Errorf("a swap at the top (%f) should cost more than at the tail (%f)", swapTop, swapTail)
+	}
+}
+
+func TestNDCGMissingAS(t *testing.T) {
+	full := []asn.ASN{1, 2}
+	vals := map[asn.ASN]float64{1: 0.9, 2: 0.5}
+	// The sample surfaces an AS the full view values at zero.
+	got := NDCG([]asn.ASN{1, 99}, vals, full, 10)
+	want := 0.9 / (0.9 + 0.5/math.Log2(3))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("NDCG = %f, want %f", got, want)
+	}
+}
+
+func TestNDCGZeroFull(t *testing.T) {
+	if NDCG([]asn.ASN{1}, map[asn.ASN]float64{}, []asn.ASN{1}, 10) != 0 {
+		t.Error("zero full DCG should give 0")
+	}
+}
+
+func TestNDCGKTruncation(t *testing.T) {
+	full := []asn.ASN{1, 2, 3}
+	vals := map[asn.ASN]float64{1: 0.9, 2: 0.5, 3: 0.4}
+	// With k=1 only the top entry matters.
+	if got := NDCG([]asn.ASN{1, 3, 2}, vals, full, 1); got != 1 {
+		t.Errorf("k=1 NDCG = %f", got)
+	}
+	// k<=0 selects DefaultK.
+	if got := NDCG(full, vals, full, 0); got != 1 {
+		t.Errorf("default-k NDCG = %f", got)
+	}
+}
+
+// TestNDCGBounded: for samples that are permutations of the full top list,
+// NDCG is in (0, 1].
+func TestNDCGBounded(t *testing.T) {
+	f := func(seed uint32) bool {
+		// Build a 5-AS full ranking with descending positive values.
+		full := []asn.ASN{10, 20, 30, 40, 50}
+		vals := map[asn.ASN]float64{10: 5, 20: 4, 30: 3, 40: 2, 50: 1}
+		// Derive a permutation from the seed.
+		perm := append([]asn.ASN(nil), full...)
+		s := seed
+		for i := len(perm) - 1; i > 0; i-- {
+			s = s*1664525 + 1013904223
+			j := int(s) % (i + 1)
+			if j < 0 {
+				j = -j
+			}
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		got := NDCG(perm, vals, full, 5)
+		return got > 0 && got <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package netx
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// Block is a maximal CIDR-aligned run of addresses whose most-specific
+// covering prefix is Owner. Splitting announced prefixes into blocks is the
+// first step of prefix geolocation (§3.2.1): different sub-blocks of an
+// announced prefix may sit in different countries, and only the portion not
+// covered by a more-specific announcement is attributed to the covering
+// prefix.
+type Block struct {
+	// Prefix is the CIDR-aligned block itself.
+	Prefix netip.Prefix
+	// Owner is the most specific announced prefix covering the block.
+	Owner netip.Prefix
+}
+
+// SplitBlocks partitions the address space announced by prefixes into
+// non-overlapping blocks, each mapped to its most specific covering prefix.
+// Duplicate input prefixes are coalesced. The result is in canonical prefix
+// order. Prefixes entirely covered by more specifics contribute no blocks.
+func SplitBlocks(prefixes []netip.Prefix) []Block {
+	var trie Trie[struct{}]
+	for _, p := range prefixes {
+		trie.Insert(p, struct{}{})
+	}
+	var out []Block
+	// For each announced prefix, emit the CIDR chunks of it that are not
+	// covered by any strictly more specific announced prefix.
+	for _, pv := range trie.All() {
+		owner := pv.Prefix
+		descendants := trie.Descendants(owner)
+		if len(descendants) == 0 {
+			out = append(out, Block{Prefix: owner, Owner: owner})
+			continue
+		}
+		out = append(out, carve(owner, owner, descendants)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return ComparePrefixes(out[i].Prefix, out[j].Prefix) < 0 })
+	return out
+}
+
+// carve returns the blocks of cur not covered by any prefix in descendants,
+// attributing them to owner. descendants are all strictly inside owner.
+func carve(cur, owner netip.Prefix, descendants []netip.Prefix) []Block {
+	covered := false
+	anyInside := false
+	for _, d := range descendants {
+		if Covers(d, cur) && d != owner {
+			covered = true
+			break
+		}
+		if Covers(cur, d) && d != cur {
+			anyInside = true
+		}
+	}
+	if covered {
+		return nil
+	}
+	if !anyInside {
+		return []Block{{Prefix: cur, Owner: owner}}
+	}
+	// Some descendant lies strictly inside cur: split and recurse. cur cannot
+	// be a host route here because nothing fits strictly inside one.
+	lo, hi := Halves(cur)
+	var out []Block
+	out = append(out, carve(lo, owner, descendants)...)
+	out = append(out, carve(hi, owner, descendants)...)
+	return out
+}

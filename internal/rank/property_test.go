@@ -1,0 +1,80 @@
+package rank
+
+import (
+	"testing"
+	"testing/quick"
+
+	"countryrank/internal/asn"
+)
+
+// TestRankingWellFormed checks structural invariants over random value maps:
+// ranks are dense 1..n, values descend, lookups agree with entries.
+func TestRankingWellFormed(t *testing.T) {
+	f := func(vals map[uint16]uint32) bool {
+		m := make(map[asn.ASN]float64, len(vals))
+		for a, v := range vals {
+			m[asn.ASN(a)+1] = float64(v) / float64(1<<32)
+		}
+		r := New("q", m, nil, false)
+		if r.Len() != len(m) {
+			return false
+		}
+		for i, e := range r.Entries {
+			if e.Rank != i+1 {
+				return false
+			}
+			if i > 0 {
+				prev := r.Entries[i-1]
+				if prev.Value < e.Value {
+					return false
+				}
+				if prev.Value == e.Value && prev.ASN >= e.ASN {
+					return false
+				}
+			}
+			if rk, ok := r.RankOf(e.ASN); !ok || rk != e.Rank {
+				return false
+			}
+			if r.ValueOf(e.ASN) != e.Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeltaConsistency checks that Delta's rank movements are consistent
+// with the two rankings for random inputs.
+func TestDeltaConsistency(t *testing.T) {
+	f := func(oldVals, newVals map[uint8]uint16) bool {
+		toMap := func(in map[uint8]uint16) map[asn.ASN]float64 {
+			out := map[asn.ASN]float64{}
+			for a, v := range in {
+				out[asn.ASN(a)+1] = float64(v)
+			}
+			return out
+		}
+		o := New("old", toMap(oldVals), nil, false)
+		n := New("new", toMap(newVals), nil, false)
+		for _, d := range Delta(o, n, 10) {
+			nr, ok := n.RankOf(d.ASN)
+			if !ok || nr != d.Rank {
+				return false
+			}
+			or, wasRanked := o.RankOf(d.ASN)
+			if wasRanked != d.WasRanked {
+				return false
+			}
+			if wasRanked && or-nr != d.RankDelta {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

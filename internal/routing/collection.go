@@ -1,0 +1,320 @@
+package routing
+
+import (
+	"math/rand"
+	"net/netip"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"countryrank/internal/asn"
+	"countryrank/internal/bgp"
+	"countryrank/internal/topology"
+	"countryrank/internal/vp"
+)
+
+// Record is one observed (vantage point, prefix, AS path) triple: the unit
+// the paper's Table 1 accounts for and every metric consumes.
+type Record struct {
+	VP     int32 // index into the world's vp.Set
+	Prefix int32 // index into Collection.Prefixes
+	Path   int32 // index into Collection.Paths
+}
+
+// Collection is a multi-day observation of the world from its vantage
+// points: the synthetic equivalent of the five daily RIB snapshots the paper
+// takes from RouteViews and RIPE RIS.
+type Collection struct {
+	World    *topology.World
+	Prefixes []netip.Prefix
+	// Origin[i] is the origin AS of Prefixes[i].
+	Origin []asn.ASN
+	Paths  []bgp.Path
+	// Records holds every (VP, prefix, path) observation of the base day.
+	Records []Record
+	// Stable[i] reports whether Prefixes[i] was announced on every one of
+	// the Days daily snapshots; unstable prefixes are filtered by the
+	// sanitizer (Table 1's largest reject class after VP location).
+	Stable []bool
+	// DayMask[i] records per-day presence: bit d set means Prefixes[i] was
+	// announced on day d. Stable[i] == (all Days bits set).
+	DayMask []uint16
+	Days    int
+}
+
+// PresentOn reports whether prefix pi was announced on day d.
+func (c *Collection) PresentOn(pi int32, day int) bool {
+	if len(c.DayMask) == 0 {
+		return true // single-RIB collections (e.g. MRT imports)
+	}
+	return c.DayMask[pi]&(1<<day) != 0
+}
+
+// BuildOptions tunes collection assembly. Zero values select the rates that
+// reproduce Table 1's reject-class proportions.
+type BuildOptions struct {
+	Days int
+	// UnstableFrac is the fraction of prefixes missing from ≥1 daily RIB.
+	UnstableFrac float64
+	// LoopFrac / PoisonFrac / UnallocFrac are per-record corruption rates.
+	LoopFrac    float64
+	PoisonFrac  float64
+	UnallocFrac float64
+	Seed        int64
+}
+
+func (o BuildOptions) withDefaults(w *topology.World) BuildOptions {
+	if o.Days == 0 {
+		o.Days = 5
+	}
+	if o.UnstableFrac == 0 {
+		o.UnstableFrac = 0.08
+	}
+	if o.LoopFrac == 0 {
+		o.LoopFrac = 0.0008
+	}
+	if o.PoisonFrac == 0 {
+		o.PoisonFrac = 0.0001
+	}
+	if o.UnallocFrac == 0 {
+		o.UnallocFrac = 0.0009
+	}
+	if o.Seed == 0 {
+		o.Seed = w.Config.Seed + 7
+	}
+	return o
+}
+
+// BuildCollection propagates every origin's routes across the world and
+// records the best path each vantage point exports, then injects the
+// real-world dirt (loops, poisoned paths, unallocated ASNs, day-to-day
+// instability) the sanitizer must handle.
+func BuildCollection(w *topology.World, opt BuildOptions) *Collection {
+	opt = opt.withDefaults(w)
+	g := w.Graph
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	col := &Collection{World: w, Days: opt.Days}
+
+	// Index prefixes.
+	prefixIdx := map[netip.Prefix]int32{}
+	for _, po := range g.AllPrefixes() {
+		if _, dup := prefixIdx[po.Prefix]; dup {
+			continue // MOAS: first origin wins in the index; rare by design
+		}
+		prefixIdx[po.Prefix] = int32(len(col.Prefixes))
+		col.Prefixes = append(col.Prefixes, po.Prefix)
+		col.Origin = append(col.Origin, po.Origin)
+	}
+
+	// Group prefix indexes by origin node.
+	byOrigin := make([][]int32, g.NumASes())
+	for i := range col.Prefixes {
+		node, ok := g.Index(col.Origin[i])
+		if !ok {
+			continue
+		}
+		byOrigin[node] = append(byOrigin[node], int32(i))
+	}
+
+	// VP nodes.
+	type vpAt struct {
+		vpIdx int32
+		node  int32
+		feed  vp.FeedType
+	}
+	var vps []vpAt
+	for i := 0; i < w.VPs.Len(); i++ {
+		v := w.VPs.VP(i)
+		node, ok := g.Index(v.AS)
+		if !ok {
+			continue
+		}
+		vps = append(vps, vpAt{int32(i), node, v.Feed})
+	}
+
+	// Propagate origins in parallel; merge per-origin results in origin
+	// order so the collection is deterministic regardless of scheduling.
+	type vpRoute struct {
+		vpIdx int32
+		path  bgp.Path
+	}
+	perOrigin := make([][]vpRoute, g.NumASes())
+	g.ASNs() // warm the cache once; workers then only read it
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	next := int32(0)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := newPropState(g.NumASes())
+			for {
+				origin := atomic.AddInt32(&next, 1) - 1
+				if origin >= int32(g.NumASes()) {
+					return
+				}
+				if len(byOrigin[origin]) == 0 {
+					continue
+				}
+				propagate(g, origin, st)
+				var routes []vpRoute
+				for _, v := range vps {
+					cls := st.class[v.node]
+					if cls == classNone {
+						continue
+					}
+					// Customer-feed VPs export only customer-learned (or
+					// own) routes, like a peer applying export policy.
+					if v.feed == vp.CustomerFeed && cls > classCustomer {
+						continue
+					}
+					routes = append(routes, vpRoute{v.vpIdx, extractPath(g, st, v.node)})
+				}
+				perOrigin[origin] = routes
+			}
+		}()
+	}
+	wg.Wait()
+	// Size the output exactly: repeated append-doubling of multi-megabyte
+	// slices dominates the profile otherwise.
+	var nPaths, nRecs int
+	for origin := range perOrigin {
+		nPaths += len(perOrigin[origin])
+		nRecs += len(perOrigin[origin]) * len(byOrigin[origin])
+	}
+	col.Paths = make([]bgp.Path, 0, nPaths+nRecs/256+16)
+	col.Records = make([]Record, 0, nRecs)
+	for origin := int32(0); origin < int32(g.NumASes()); origin++ {
+		pfxs := byOrigin[origin]
+		for _, rt := range perOrigin[origin] {
+			pi := int32(len(col.Paths))
+			col.Paths = append(col.Paths, rt.path)
+			for _, pfx := range pfxs {
+				col.Records = append(col.Records, Record{VP: rt.vpIdx, Prefix: pfx, Path: pi})
+			}
+		}
+	}
+
+	// Day-to-day instability: stable prefixes appear in every daily RIB;
+	// unstable ones flap, missing at least one day.
+	col.Stable = make([]bool, len(col.Prefixes))
+	col.DayMask = make([]uint16, len(col.Prefixes))
+	full := uint16(1<<opt.Days) - 1
+	for i := range col.Stable {
+		if rng.Float64() >= opt.UnstableFrac {
+			col.Stable[i] = true
+			col.DayMask[i] = full
+			continue
+		}
+		mask := uint16(0)
+		for d := 0; d < opt.Days; d++ {
+			if rng.Float64() < 0.7 {
+				mask |= 1 << d
+			}
+		}
+		// Flapping means visible at least once and absent at least once.
+		if mask == 0 {
+			mask = 1
+		}
+		if mask == full {
+			mask &^= 1 << uint(rng.Intn(opt.Days))
+		}
+		col.DayMask[i] = mask
+	}
+
+	col.injectAnomalies(rng, opt)
+	return col
+}
+
+// injectAnomalies corrupts a small fraction of records the way public BGP
+// data is corrupted: AS path loops, poisoned paths (a non-clique AS wedged
+// between two clique ASes), and unallocated ASNs.
+func (c *Collection) injectAnomalies(rng *rand.Rand, opt BuildOptions) {
+	g := c.World.Graph
+	cliqueSet := map[asn.ASN]bool{}
+	for _, a := range c.World.Clique {
+		cliqueSet[a] = true
+	}
+	// A pool of real stub ASNs for poisoning payloads.
+	var stubPool []asn.ASN
+	for i := int32(0); i < int32(g.NumASes()); i++ {
+		if g.Node(i).Class == topology.ClassStub {
+			stubPool = append(stubPool, g.Node(i).ASN)
+			if len(stubPool) >= 64 {
+				break
+			}
+		}
+	}
+	sort.Slice(stubPool, func(i, j int) bool { return stubPool[i] < stubPool[j] })
+
+	mutate := func(idx int, f func(bgp.Path) bgp.Path) {
+		old := c.Paths[c.Records[idx].Path]
+		mutated := f(old.Clone())
+		if mutated == nil {
+			return
+		}
+		c.Records[idx].Path = int32(len(c.Paths))
+		c.Paths = append(c.Paths, mutated)
+	}
+
+	for i := range c.Records {
+		r := rng.Float64()
+		switch {
+		case r < opt.LoopFrac:
+			mutate(i, func(p bgp.Path) bgp.Path {
+				if len(p) < 3 {
+					return nil
+				}
+				// Re-insert the first hop later in the path: A B A B C.
+				out := make(bgp.Path, 0, len(p)+2)
+				out = append(out, p[0], p[1], p[0])
+				out = append(out, p[1:]...)
+				return out
+			})
+		case r < opt.LoopFrac+opt.PoisonFrac:
+			mutate(i, func(p bgp.Path) bgp.Path {
+				if len(stubPool) == 0 {
+					return nil
+				}
+				// Insert a stub between two adjacent clique ASes.
+				for j := 0; j+1 < len(p); j++ {
+					if cliqueSet[p[j]] && cliqueSet[p[j+1]] && !p.Contains(stubPool[0]) {
+						out := make(bgp.Path, 0, len(p)+1)
+						out = append(out, p[:j+1]...)
+						out = append(out, stubPool[rng.Intn(len(stubPool))])
+						out = append(out, p[j+1:]...)
+						if out.HasNonAdjacentLoop() {
+							return nil
+						}
+						return out
+					}
+				}
+				return nil
+			})
+		case r < opt.LoopFrac+opt.PoisonFrac+opt.UnallocFrac:
+			mutate(i, func(p bgp.Path) bgp.Path {
+				if len(p) < 2 {
+					return nil
+				}
+				// Leak a private-use ASN mid-path.
+				out := make(bgp.Path, 0, len(p)+1)
+				out = append(out, p[0], asn.ASN(64512+rng.Intn(1000)))
+				out = append(out, p[1:]...)
+				return out
+			})
+		}
+	}
+}
+
+// PathOf returns the path of record i.
+func (c *Collection) PathOf(i int) bgp.Path { return c.Paths[c.Records[i].Path] }
+
+// PrefixOf returns the prefix of record i.
+func (c *Collection) PrefixOf(i int) netip.Prefix { return c.Prefixes[c.Records[i].Prefix] }
+
+// AnnouncedPrefixes returns the distinct announced prefixes.
+func (c *Collection) AnnouncedPrefixes() []netip.Prefix {
+	return append([]netip.Prefix(nil), c.Prefixes...)
+}

@@ -1,0 +1,90 @@
+package routing
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"countryrank/internal/bgp"
+	"countryrank/internal/bgpsession"
+)
+
+// FeedVP streams one vantage point's base-day routes over an established
+// BGP session, the way a real VP feeds a collector, and closes the session.
+// Returns the number of UPDATEs sent.
+func FeedVP(sess *bgpsession.Session, c *Collection, vpIdx int32) (int, error) {
+	v := c.World.VPs.VP(int(vpIdx))
+	n := 0
+	for _, r := range c.Records {
+		if r.VP != vpIdx {
+			continue
+		}
+		u := &bgp.Update{ASPath: bgp.SequencePath(c.Paths[r.Path])}
+		pfx := c.Prefixes[r.Prefix]
+		if pfx.Addr().Is4() {
+			u.NextHop = v.Addr
+			u.Announced = []netip.Prefix{pfx}
+		} else {
+			u.V6NextHop = v6NextHop
+			u.V6Announced = []netip.Prefix{pfx}
+		}
+		if err := sess.Send(u); err != nil {
+			return n, fmt.Errorf("routing: feed VP %d: %w", vpIdx, err)
+		}
+		n++
+	}
+	return n, sess.Close()
+}
+
+// v6NextHop is the synthetic IPv6 next hop used when feeding IPv6 routes
+// (VP addresses in the world model are IPv4).
+var v6NextHop = netip.MustParseAddr("2001:db8::1")
+
+// CollectionFromTables assembles a Collection from per-VP session tables,
+// the collector-side counterpart of FeedVP. All prefixes are marked stable
+// (a live feed carries one table).
+func CollectionFromTables(c *Collection, tables map[int32]*bgpsession.Table) *Collection {
+	out := &Collection{World: c.World, Days: 1}
+	prefixIdx := map[netip.Prefix]int32{}
+
+	vps := make([]int32, 0, len(tables))
+	for v := range tables {
+		vps = append(vps, v)
+	}
+	sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
+
+	for _, v := range vps {
+		t := tables[v]
+		pfxs := make([]netip.Prefix, 0, len(t.Routes))
+		for p := range t.Routes {
+			pfxs = append(pfxs, p)
+		}
+		sort.Slice(pfxs, func(i, j int) bool {
+			if pfxs[i].Addr() != pfxs[j].Addr() {
+				return pfxs[i].Addr().Less(pfxs[j].Addr())
+			}
+			return pfxs[i].Bits() < pfxs[j].Bits()
+		})
+		for _, p := range pfxs {
+			pi, ok := prefixIdx[p]
+			if !ok {
+				pi = int32(len(out.Prefixes))
+				prefixIdx[p] = pi
+				out.Prefixes = append(out.Prefixes, p)
+				origin, _ := t.Routes[p].Origin()
+				out.Origin = append(out.Origin, origin)
+			}
+			out.Records = append(out.Records, Record{
+				VP:     v,
+				Prefix: pi,
+				Path:   int32(len(out.Paths)),
+			})
+			out.Paths = append(out.Paths, t.Routes[p])
+		}
+	}
+	out.Stable = make([]bool, len(out.Prefixes))
+	for i := range out.Stable {
+		out.Stable[i] = true
+	}
+	return out
+}

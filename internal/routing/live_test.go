@@ -1,0 +1,104 @@
+package routing
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"countryrank/internal/bgpsession"
+)
+
+// TestLiveFeedRoundTrip runs real BGP sessions between three vantage points
+// and a collector over in-memory pipes, then rebuilds a collection from the
+// collected tables and compares it against the original records.
+func TestLiveFeedRoundTrip(t *testing.T) {
+	w := testWorld(t)
+	col := BuildCollection(w, BuildOptions{LoopFrac: -1, PoisonFrac: -1, UnallocFrac: -1, UnstableFrac: -1})
+
+	// Pick three VPs with records.
+	counts := map[int32]int{}
+	for _, r := range col.Records {
+		counts[r.VP]++
+	}
+	var vps []int32
+	for v, n := range counts {
+		if n > 0 {
+			vps = append(vps, v)
+		}
+		if len(vps) == 3 {
+			break
+		}
+	}
+	if len(vps) < 3 {
+		t.Skip("not enough VPs")
+	}
+
+	tables := map[int32]*bgpsession.Table{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, vpIdx := range vps {
+		vpIdx := vpIdx
+		speakerConn, collectorConn := net.Pipe()
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			sess, err := bgpsession.Establish(speakerConn, bgpsession.Config{
+				AS: w.VPs.VP(int(vpIdx)).AS, BGPID: netip.MustParseAddr("10.0.0.1"),
+				HoldTime: 10 * time.Second,
+			})
+			if err != nil {
+				t.Errorf("speaker establish: %v", err)
+				return
+			}
+			if _, err := FeedVP(sess, col, vpIdx); err != nil {
+				t.Errorf("feed: %v", err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			sess, err := bgpsession.Establish(collectorConn, bgpsession.Config{
+				AS: 6447, BGPID: netip.MustParseAddr("10.0.0.2"), HoldTime: 10 * time.Second,
+			})
+			if err != nil {
+				t.Errorf("collector establish: %v", err)
+				return
+			}
+			table := bgpsession.NewTable()
+			if _, err := sess.Collect(table, 0); err != nil {
+				t.Errorf("collect: %v", err)
+				return
+			}
+			mu.Lock()
+			tables[vpIdx] = table
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	live := CollectionFromTables(col, tables)
+
+	// Every original record for these VPs must appear with its exact path.
+	want := map[string]string{}
+	for _, r := range col.Records {
+		if _, ok := tables[r.VP]; !ok {
+			continue
+		}
+		k := string(rune(r.VP)) + "|" + col.Prefixes[r.Prefix].String()
+		want[k] = col.Paths[r.Path].String()
+	}
+	got := map[string]string{}
+	for _, r := range live.Records {
+		k := string(rune(r.VP)) + "|" + live.Prefixes[r.Prefix].String()
+		got[k] = live.Paths[r.Path].String()
+	}
+	if len(got) != len(want) {
+		t.Fatalf("live records %d, want %d", len(got), len(want))
+	}
+	for k, p := range want {
+		if got[k] != p {
+			t.Fatalf("route %q = %q, want %q", k, got[k], p)
+		}
+	}
+}

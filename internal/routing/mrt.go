@@ -1,0 +1,214 @@
+package routing
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+
+	"countryrank/internal/bgp"
+	"countryrank/internal/mrt"
+	"countryrank/internal/topology"
+)
+
+// ExportMRT writes the collection's base-day RIB for one collector as a
+// TABLE_DUMP_V2 stream: the same interchange format RouteViews and RIS
+// publish, so downstream tooling can consume simulated dumps unchanged.
+func ExportMRT(w io.Writer, c *Collection, collector string, timestamp uint32) error {
+	set := c.World.VPs
+	coll, ok := set.Collector(collector)
+	if !ok {
+		return fmt.Errorf("routing: unknown collector %q", collector)
+	}
+
+	// Peer table: the collector's VPs, in VP-index order.
+	var peerIdx = map[int32]uint16{}
+	var peers []mrt.Peer
+	for i := 0; i < set.Len(); i++ {
+		v := set.VP(i)
+		if v.Collector != collector {
+			continue
+		}
+		peerIdx[int32(i)] = uint16(len(peers))
+		peers = append(peers, mrt.Peer{BGPID: v.Addr, Addr: v.Addr, AS: v.AS})
+	}
+
+	mw := mrt.NewWriter(w, timestamp)
+	if err := mw.WritePeerIndexTable(coll.ID, collector, peers); err != nil {
+		return err
+	}
+
+	// Group records by prefix, keeping only this collector's VPs.
+	byPrefix := make(map[int32][]Record)
+	for _, r := range c.Records {
+		if _, ok := peerIdx[r.VP]; ok {
+			byPrefix[r.Prefix] = append(byPrefix[r.Prefix], r)
+		}
+	}
+	pfxs := make([]int32, 0, len(byPrefix))
+	for p := range byPrefix {
+		pfxs = append(pfxs, p)
+	}
+	sort.Slice(pfxs, func(i, j int) bool { return pfxs[i] < pfxs[j] })
+
+	for _, p := range pfxs {
+		recs := byPrefix[p]
+		sort.Slice(recs, func(i, j int) bool { return recs[i].VP < recs[j].VP })
+		entries := make([]mrt.RIBEntry, 0, len(recs))
+		for _, r := range recs {
+			entries = append(entries, mrt.RIBEntry{
+				PeerIndex:    peerIdx[r.VP],
+				OriginatedAt: timestamp,
+				Attrs: bgp.AttrSet{
+					Origin: bgp.OriginIGP,
+					ASPath: bgp.SequencePath(c.Paths[r.Path]),
+				},
+			})
+		}
+		if err := mw.WriteRIB(c.Prefixes[p], entries); err != nil {
+			return err
+		}
+	}
+	return mw.Flush()
+}
+
+// ExportUpdatesMRT writes the BGP4MP update stream one collector would have
+// recorded during day (1 ≤ day < c.Days): for every VP of the collector, an
+// UPDATE announcing each prefix that appeared relative to day-1 and
+// withdrawing each prefix that vanished. Combined with the day-0 RIB this
+// reconstructs any day's table, the way RouteViews consumers replay
+// rib + updates archives.
+func ExportUpdatesMRT(w io.Writer, c *Collection, collector string, day int, timestamp uint32) error {
+	if day <= 0 || day >= c.Days {
+		return fmt.Errorf("routing: day %d outside 1..%d", day, c.Days-1)
+	}
+	set := c.World.VPs
+	if _, ok := set.Collector(collector); !ok {
+		return fmt.Errorf("routing: unknown collector %q", collector)
+	}
+
+	mw := mrt.NewWriter(w, timestamp)
+	collectorIP := netip.AddrFrom4([4]byte{192, 0, 2, 1})
+
+	// Group this collector's records by VP for deterministic emission.
+	byVP := map[int32][]Record{}
+	var vpOrder []int32
+	for _, r := range c.Records {
+		v := set.VP(int(r.VP))
+		if v.Collector != collector {
+			continue
+		}
+		if _, seen := byVP[r.VP]; !seen {
+			vpOrder = append(vpOrder, r.VP)
+		}
+		byVP[r.VP] = append(byVP[r.VP], r)
+	}
+	sort.Slice(vpOrder, func(i, j int) bool { return vpOrder[i] < vpOrder[j] })
+
+	for _, vpIdx := range vpOrder {
+		v := set.VP(int(vpIdx))
+		for _, r := range byVP[vpIdx] {
+			was := c.PresentOn(r.Prefix, day-1)
+			is := c.PresentOn(r.Prefix, day)
+			if was == is {
+				continue
+			}
+			var u bgp.Update
+			pfx := c.Prefixes[r.Prefix]
+			switch {
+			case is && pfx.Addr().Is4():
+				u = bgp.Update{
+					ASPath:    bgp.SequencePath(c.Paths[r.Path]),
+					NextHop:   v.Addr,
+					Announced: []netip.Prefix{pfx},
+				}
+			case is:
+				u = bgp.Update{
+					ASPath:      bgp.SequencePath(c.Paths[r.Path]),
+					V6NextHop:   v6NextHop,
+					V6Announced: []netip.Prefix{pfx},
+				}
+			case pfx.Addr().Is4():
+				u = bgp.Update{Withdrawn: []netip.Prefix{pfx}}
+			default:
+				u = bgp.Update{V6Withdrawn: []netip.Prefix{pfx}}
+			}
+			raw, err := u.Marshal()
+			if err != nil {
+				return fmt.Errorf("routing: update: %w", err)
+			}
+			if err := mw.WriteBGP4MP(v.AS, 6447, v.Addr, collectorIP, raw); err != nil {
+				return err
+			}
+		}
+	}
+	return mw.Flush()
+}
+
+// ImportMRT parses TABLE_DUMP_V2 streams (one per collector) back into a
+// Collection attached to the given world. VPs are matched by peering
+// address; entries from unknown peers are dropped. Stability defaults to
+// true for every prefix (MRT carries a single day).
+func ImportMRT(w *topology.World, streams []io.Reader) (*Collection, error) {
+	set := w.VPs
+	byAddr := map[netip.Addr]int32{}
+	for i := 0; i < set.Len(); i++ {
+		byAddr[set.VP(i).Addr] = int32(i)
+	}
+
+	col := &Collection{World: w, Days: 1}
+	prefixIdx := map[netip.Prefix]int32{}
+
+	for _, stream := range streams {
+		r := mrt.NewReader(stream)
+		var peers []mrt.Peer
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			if rec.PeerIndexTable != nil {
+				peers = rec.PeerIndexTable.Peers
+				continue
+			}
+			rib := rec.RIB
+			if rib == nil {
+				continue
+			}
+			pi, ok := prefixIdx[rib.Prefix]
+			if !ok {
+				pi = int32(len(col.Prefixes))
+				prefixIdx[rib.Prefix] = pi
+				col.Prefixes = append(col.Prefixes, rib.Prefix)
+				col.Origin = append(col.Origin, 0)
+			}
+			for _, e := range rib.Entries {
+				if int(e.PeerIndex) >= len(peers) {
+					return nil, fmt.Errorf("routing: peer index %d out of range", e.PeerIndex)
+				}
+				vpIdx, known := byAddr[peers[e.PeerIndex].Addr]
+				if !known {
+					continue
+				}
+				path := e.Attrs.PathOf()
+				if o, ok := path.Origin(); ok && col.Origin[pi] == 0 {
+					col.Origin[pi] = o
+				}
+				col.Records = append(col.Records, Record{
+					VP:     vpIdx,
+					Prefix: pi,
+					Path:   int32(len(col.Paths)),
+				})
+				col.Paths = append(col.Paths, path)
+			}
+		}
+	}
+	col.Stable = make([]bool, len(col.Prefixes))
+	for i := range col.Stable {
+		col.Stable[i] = true
+	}
+	return col, nil
+}

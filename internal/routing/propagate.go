@@ -1,0 +1,236 @@
+// Package routing simulates BGP route propagation over the AS topology and
+// assembles the vantage-point path collections the ranking pipeline consumes.
+// Propagation follows the Gao–Rexford model that underpins the valley-free
+// assumption the paper's metrics rely on: routes learned from customers are
+// exported to everyone, routes learned from peers or providers only to
+// customers, and each AS prefers customer routes over peer routes over
+// provider routes, breaking ties by shortest AS path and then lowest
+// next-hop ASN.
+package routing
+
+import (
+	"sort"
+
+	"countryrank/internal/asn"
+	"countryrank/internal/bgp"
+	"countryrank/internal/topology"
+)
+
+// Route class in preference order. Lower is preferred.
+const (
+	classOrigin   uint8 = 0
+	classCustomer uint8 = 1
+	classPeer     uint8 = 2
+	classProvider uint8 = 3
+	classNone     uint8 = 4
+)
+
+// propState holds per-origin propagation state, reused across origins to
+// avoid reallocation.
+type propState struct {
+	class  []uint8
+	dist   []int32
+	parent []int32
+}
+
+func newPropState(n int) *propState {
+	return &propState{
+		class:  make([]uint8, n),
+		dist:   make([]int32, n),
+		parent: make([]int32, n),
+	}
+}
+
+func (s *propState) reset() {
+	for i := range s.class {
+		s.class[i] = classNone
+		s.dist[i] = 0
+		s.parent[i] = -1
+	}
+}
+
+// better reports whether an offer (dist d via neighbor n) beats the current
+// route of node v within the same class. Equal-length ties break on a
+// deterministic per-(node, neighbor) hash: real BGP resolves such ties on
+// router-local state (IGP cost, router ID), which is arbitrary but stable —
+// a global "lowest ASN wins" rule would funnel every equal-cost decision in
+// the world through the same provider and badly skew path diversity.
+func better(g *topology.Graph, s *propState, v int32, d int32, n int32) bool {
+	if d != s.dist[v] {
+		return d < s.dist[v]
+	}
+	cur := s.parent[v]
+	if cur < 0 {
+		return true
+	}
+	asns := g.ASNs()
+	hn, hc := tieHash(asns[v], asns[n]), tieHash(asns[v], asns[cur])
+	if hn != hc {
+		return hn < hc
+	}
+	return asns[n] < asns[cur]
+}
+
+// tieHash mixes the deciding AS and the candidate neighbor into a stable
+// pseudo-random preference.
+func tieHash(v, n asn.ASN) uint32 {
+	x := uint32(v)*0x9E3779B9 ^ uint32(n)*0x85EBCA6B
+	x ^= x >> 16
+	x *= 0x7FEB352D
+	x ^= x >> 15
+	x *= 0x846CA68B
+	x ^= x >> 16
+	return x
+}
+
+// propagate computes every AS's best route toward origin (a node index).
+// After it returns, s.class/dist/parent describe the routing tree.
+func propagate(g *topology.Graph, origin int32, s *propState) {
+	s.reset()
+	s.class[origin] = classOrigin
+	s.dist[origin] = 0
+
+	// Phase 1: customer routes climb provider links, breadth-first.
+	cur := []int32{origin}
+	for len(cur) > 0 {
+		sortByASN(g, cur)
+		var next []int32
+		for _, u := range cur {
+			du := s.dist[u]
+			for _, p := range g.ProvidersIdx(u) {
+				switch {
+				case s.class[p] < classCustomer:
+					// origin or already-better class; never overwritten.
+				case s.class[p] == classCustomer:
+					if du+1 == s.dist[p] && better(g, s, p, du+1, u) {
+						s.parent[p] = u
+					}
+					// Longer offers lose; shorter cannot occur in BFS order.
+				default:
+					s.class[p] = classCustomer
+					s.dist[p] = du + 1
+					s.parent[p] = u
+					next = append(next, p)
+				}
+			}
+		}
+		cur = next
+	}
+
+	// Phase 2: one-hop peer spread from every customer-routed AS.
+	// Collect offers first so iteration order cannot leak into results.
+	type offer struct{ to, via int32 }
+	var offers []offer
+	for u := int32(0); u < int32(g.NumASes()); u++ {
+		if s.class[u] > classCustomer {
+			continue
+		}
+		for _, v := range g.PeersIdx(u) {
+			if s.class[v] > classPeer {
+				offers = append(offers, offer{v, u})
+			}
+		}
+	}
+	for _, o := range offers {
+		d := s.dist[o.via] + 1
+		switch {
+		case s.class[o.to] < classPeer:
+		case s.class[o.to] == classPeer:
+			if better(g, s, o.to, d, o.via) {
+				s.dist[o.to] = d
+				s.parent[o.to] = o.via
+			}
+		default:
+			s.class[o.to] = classPeer
+			s.dist[o.to] = d
+			s.parent[o.to] = o.via
+		}
+	}
+
+	// Phase 3: everything flows down customer links, multi-source BFS
+	// ordered by distance (buckets; AS paths are short).
+	maxD := int32(0)
+	for u := int32(0); u < int32(g.NumASes()); u++ {
+		if s.class[u] <= classPeer && s.dist[u] > maxD {
+			maxD = s.dist[u]
+		}
+	}
+	buckets := make([][]int32, maxD+2)
+	for u := int32(0); u < int32(g.NumASes()); u++ {
+		if s.class[u] <= classPeer {
+			buckets[s.dist[u]] = append(buckets[s.dist[u]], u)
+		}
+	}
+	for d := int32(0); d < int32(len(buckets)); d++ {
+		bucket := buckets[d]
+		sortByASN(g, bucket)
+		for _, u := range bucket {
+			if s.dist[u] != d {
+				continue // re-bucketed at a smaller distance already
+			}
+			for _, c := range g.CustomersIdx(u) {
+				switch {
+				case s.class[c] <= classPeer:
+				case s.class[c] == classProvider:
+					if d+1 == s.dist[c] && better(g, s, c, d+1, u) {
+						s.parent[c] = u
+					} else if d+1 < s.dist[c] {
+						s.dist[c] = d + 1
+						s.parent[c] = u
+						appendBucket(&buckets, d+1, c)
+					}
+				default:
+					s.class[c] = classProvider
+					s.dist[c] = d + 1
+					s.parent[c] = u
+					appendBucket(&buckets, d+1, c)
+				}
+			}
+		}
+	}
+}
+
+func appendBucket(buckets *[][]int32, d int32, v int32) {
+	for int32(len(*buckets)) <= d {
+		*buckets = append(*buckets, nil)
+	}
+	(*buckets)[d] = append((*buckets)[d], v)
+}
+
+func sortByASN(g *topology.Graph, nodes []int32) {
+	asns := g.ASNs()
+	sort.Slice(nodes, func(i, j int) bool {
+		return asns[nodes[i]] < asns[nodes[j]]
+	})
+}
+
+// extractPath returns the AS path from node v toward the origin of the
+// routing tree in s: v's ASN first, origin last. Route-server hops are
+// materialized in the path (real collectors see RS ASNs too), and origin
+// prepending is applied. Returns nil when v has no route.
+func extractPath(g *topology.Graph, s *propState, v int32) bgp.Path {
+	if s.class[v] == classNone {
+		return nil
+	}
+	var path bgp.Path
+	for cur := v; ; {
+		path = append(path, g.Node(cur).ASN)
+		next := s.parent[cur]
+		if next < 0 {
+			break
+		}
+		// Peering sessions through an IXP route server leak the RS ASN into
+		// the path; the sanitizer must strip it later.
+		if rs := g.ViaRS(cur, next); rs != 0 && g.RelIdx(cur, next) == topology.RelP2P {
+			path = append(path, rs)
+		}
+		cur = next
+	}
+	origin := path[len(path)-1]
+	if n, ok := g.ByASN(origin); ok && n.Prepend > 0 {
+		for i := 0; i < n.Prepend; i++ {
+			path = append(path, origin)
+		}
+	}
+	return path
+}

@@ -1,0 +1,125 @@
+package routing
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+
+	"countryrank/internal/bgp"
+	"countryrank/internal/mrt"
+)
+
+// TestUpdateStreamReconstructsDailyRIBs replays day-0 RIB + per-day BGP4MP
+// update streams and verifies the result matches each day's ground-truth
+// table, per VP — the rib+updates consumption model of RouteViews archives.
+func TestUpdateStreamReconstructsDailyRIBs(t *testing.T) {
+	w := testWorld(t)
+	c := BuildCollection(w, BuildOptions{LoopFrac: -1, PoisonFrac: -1, UnallocFrac: -1, UnstableFrac: 0.3})
+
+	collector := w.VPs.Collectors()[2].Name
+	// Current table per (vp, prefix), seeded from day 0.
+	type key struct {
+		vp  int32
+		pfx netip.Prefix
+	}
+	table := map[key]bgp.Path{}
+	vpOfAddr := map[netip.Addr]int32{}
+	for i := 0; i < w.VPs.Len(); i++ {
+		vpOfAddr[w.VPs.VP(i).Addr] = int32(i)
+	}
+	collectorRecords := 0
+	for _, r := range c.Records {
+		if w.VPs.VP(int(r.VP)).Collector != collector {
+			continue
+		}
+		collectorRecords++
+		if c.PresentOn(r.Prefix, 0) {
+			table[key{r.VP, c.Prefixes[r.Prefix]}] = c.Paths[r.Path]
+		}
+	}
+	if collectorRecords == 0 {
+		t.Skip("collector has no records at this scale")
+	}
+
+	for day := 1; day < c.Days; day++ {
+		var buf bytes.Buffer
+		if err := ExportUpdatesMRT(&buf, c, collector, day, uint32(1000+day)); err != nil {
+			t.Fatalf("export day %d: %v", day, err)
+		}
+		r := mrt.NewReader(&buf)
+		events := 0
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("day %d read: %v", day, err)
+			}
+			m := rec.BGP4MP
+			if m == nil || m.Message == nil || m.Message.Update == nil {
+				t.Fatalf("day %d: non-update record %+v", day, rec)
+			}
+			vpIdx, ok := vpOfAddr[m.PeerIP]
+			if !ok {
+				t.Fatalf("unknown peer %v", m.PeerIP)
+			}
+			u := m.Message.Update
+			for _, wd := range u.Withdrawn {
+				delete(table, key{vpIdx, wd})
+			}
+			for _, an := range u.Announced {
+				table[key{vpIdx, an}] = u.ASPath.Flatten()
+			}
+			events++
+		}
+		// Compare against ground truth for this day.
+		want := map[key]bgp.Path{}
+		for _, r := range c.Records {
+			if w.VPs.VP(int(r.VP)).Collector != collector {
+				continue
+			}
+			if c.PresentOn(r.Prefix, day) {
+				want[key{r.VP, c.Prefixes[r.Prefix]}] = c.Paths[r.Path]
+			}
+		}
+		if len(table) != len(want) {
+			t.Fatalf("day %d: table %d entries, want %d (events %d)", day, len(table), len(want), events)
+		}
+		for k, p := range want {
+			if got, ok := table[k]; !ok || !got.Equal(p) {
+				t.Fatalf("day %d: route %v mismatch: %v vs %v", day, k.pfx, got, p)
+			}
+		}
+	}
+}
+
+func TestExportUpdatesValidation(t *testing.T) {
+	w := testWorld(t)
+	c := BuildCollection(w, BuildOptions{})
+	if err := ExportUpdatesMRT(io.Discard, c, "rc-US", 0, 0); err == nil {
+		t.Error("day 0 has no predecessor; must error")
+	}
+	if err := ExportUpdatesMRT(io.Discard, c, "rc-US", c.Days, 0); err == nil {
+		t.Error("day out of range must error")
+	}
+	if err := ExportUpdatesMRT(io.Discard, c, "nope", 1, 0); err == nil {
+		t.Error("unknown collector must error")
+	}
+}
+
+func TestDayMaskInvariants(t *testing.T) {
+	w := testWorld(t)
+	c := BuildCollection(w, BuildOptions{})
+	full := uint16(1<<c.Days) - 1
+	for i := range c.Prefixes {
+		mask := c.DayMask[i]
+		if c.Stable[i] != (mask == full) {
+			t.Fatalf("prefix %d: stable=%v mask=%b", i, c.Stable[i], mask)
+		}
+		if mask == 0 {
+			t.Fatalf("prefix %d never announced", i)
+		}
+	}
+}

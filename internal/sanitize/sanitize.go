@@ -1,0 +1,289 @@
+// Package sanitize implements the path filtering pipeline of §3.1 and
+// Table 1: before any metric is computed, every (VP, prefix, AS path)
+// record is checked for day-to-day stability, unallocated ASNs, loops,
+// path poisoning, and the geolocatability of both its vantage point and its
+// prefix. Accepted paths are cleaned by removing IXP route-server ASNs and
+// collapsing prepending.
+package sanitize
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"countryrank/internal/asn"
+	"countryrank/internal/bgp"
+	"countryrank/internal/countries"
+	"countryrank/internal/geoloc"
+	"countryrank/internal/netx"
+	"countryrank/internal/routing"
+)
+
+// Reason classifies a record's filtering outcome, mirroring Table 1's rows.
+type Reason uint8
+
+const (
+	// Accepted records feed the metrics.
+	Accepted Reason = iota
+	// Unstable: the prefix was not seen in all daily RIBs.
+	Unstable
+	// Unallocated: the path contains an ASN IANA reports as unassigned.
+	Unallocated
+	// Loop: the path contains non-adjacent duplicate ASNs.
+	Loop
+	// Poisoned: a non-top-tier AS appears between two top-tier ASes.
+	Poisoned
+	// VPNoLocation: the VP peers with a multi-hop collector.
+	VPNoLocation
+	// PrefixNoLocation: the prefix geolocated to no or multiple countries.
+	PrefixNoLocation
+
+	numReasons
+)
+
+func (r Reason) String() string {
+	switch r {
+	case Accepted:
+		return "accepted"
+	case Unstable:
+		return "unstable"
+	case Unallocated:
+		return "unallocated"
+	case Loop:
+		return "loop"
+	case Poisoned:
+		return "poisoned"
+	case VPNoLocation:
+		return "VP no location"
+	case PrefixNoLocation:
+		return "prefix no location"
+	}
+	return fmt.Sprintf("Reason(%d)", r)
+}
+
+// Stats is the Table 1 accounting: record counts per filter reason.
+type Stats struct {
+	Counts [numReasons]int
+	Total  int
+}
+
+// Rejected returns the count of non-accepted records.
+func (s Stats) Rejected() int { return s.Total - s.Counts[Accepted] }
+
+// Pct returns the percentage of all records with the given reason.
+func (s Stats) Pct(r Reason) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 100 * float64(s.Counts[r]) / float64(s.Total)
+}
+
+// Render formats the stats as the paper's Table 1.
+func (s Stats) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %12d %7.2f%%\n", "rejected", s.Rejected(), 100-s.Pct(Accepted))
+	for _, r := range []Reason{Unstable, Unallocated, Loop, Poisoned, VPNoLocation, PrefixNoLocation} {
+		fmt.Fprintf(&b, "  %-20s %12d %7.2f%%\n", r.String(), s.Counts[r], s.Pct(r))
+	}
+	fmt.Fprintf(&b, "%-22s %12d %7.2f%%\n", "accepted", s.Counts[Accepted], s.Pct(Accepted))
+	fmt.Fprintf(&b, "%-22s %12d %7.2f%%\n", "total", s.Total, 100.0)
+	return b.String()
+}
+
+// Config provides the sanitizer's external knowledge.
+type Config struct {
+	// Clique is the set of top-tier ASes used for poisoning detection.
+	Clique map[asn.ASN]bool
+	// Registry reports which ASNs are allocated.
+	Registry *asn.Registry
+	// RouteServers are removed from accepted paths.
+	RouteServers map[asn.ASN]bool
+	// GeoTable assigns countries to announced prefixes (§3.2.1); prefixes
+	// it filtered become PrefixNoLocation rejects.
+	GeoTable *geoloc.Table
+}
+
+// Dataset is the sanitized view of a collection: the accepted records with
+// cleaned paths and resolved countries, plus the Table 1 accounting. It is
+// the input to every ranking metric.
+type Dataset struct {
+	Col *routing.Collection
+	// Accepted[i] indexes into Col.Records; CleanPath[i] is its path after
+	// route-server removal and prepend collapsing.
+	Accepted  []int32
+	CleanPath []bgp.Path
+	// VPCountry[v] is VP v's country, or "" when unlocatable.
+	VPCountry []countries.Code
+	// PrefixCountry[p] is prefix p's country, or "" when filtered.
+	PrefixCountry []countries.Code
+	// Weight[p] is the address weight of prefix p.
+	Weight []uint64
+	Stats  Stats
+}
+
+// NewDataset wraps a collection directly into a Dataset without filtering:
+// every record is accepted with its path as-is. Use it for already-clean
+// inputs (tests, externally sanitized MRT imports); vpCountry and
+// prefixCountry must be indexed like the collection's VPs and prefixes.
+func NewDataset(col *routing.Collection, vpCountry, prefixCountry []countries.Code) *Dataset {
+	ds := &Dataset{
+		Col:           col,
+		VPCountry:     vpCountry,
+		PrefixCountry: prefixCountry,
+		Weight:        make([]uint64, len(col.Prefixes)),
+	}
+	for p, pfx := range col.Prefixes {
+		ds.Weight[p] = netx.AddressWeight(pfx)
+	}
+	ds.Stats.Total = len(col.Records)
+	ds.Stats.Counts[Accepted] = len(col.Records)
+	for i := range col.Records {
+		ds.Accepted = append(ds.Accepted, int32(i))
+		ds.CleanPath = append(ds.CleanPath, col.Paths[col.Records[i].Path])
+	}
+	return ds
+}
+
+// Run sanitizes the collection.
+func Run(col *routing.Collection, cfg Config) *Dataset {
+	ds := &Dataset{
+		Col:           col,
+		VPCountry:     make([]countries.Code, col.World.VPs.Len()),
+		PrefixCountry: make([]countries.Code, len(col.Prefixes)),
+		Weight:        make([]uint64, len(col.Prefixes)),
+	}
+	for v := 0; v < col.World.VPs.Len(); v++ {
+		if c, ok := col.World.VPs.Country(v); ok {
+			ds.VPCountry[v] = c
+		}
+	}
+	for p, pfx := range col.Prefixes {
+		ds.Weight[p] = netx.AddressWeight(pfx)
+		if cfg.GeoTable != nil {
+			if c, ok := cfg.GeoTable.Country(pfx); ok {
+				ds.PrefixCountry[p] = c
+			}
+		}
+	}
+
+	// Cache per-path verdicts and cleaned forms: the same path index backs
+	// many records (one per prefix of its origin).
+	type pathVerdict struct {
+		reason Reason // Accepted, Unallocated, Loop or Poisoned
+		clean  bgp.Path
+	}
+	verdicts := make([]pathVerdict, len(col.Paths))
+	for i, p := range col.Paths {
+		verdicts[i] = judgePath(p, cfg)
+	}
+
+	ds.Stats.Total = len(col.Records)
+	for i, r := range col.Records {
+		reason := Accepted
+		v := verdicts[r.Path]
+		switch {
+		case !col.Stable[r.Prefix]:
+			reason = Unstable
+		case v.reason != Accepted:
+			reason = v.reason
+		case ds.VPCountry[r.VP] == "":
+			reason = VPNoLocation
+		case ds.PrefixCountry[r.Prefix] == "":
+			reason = PrefixNoLocation
+		}
+		ds.Stats.Counts[reason]++
+		if reason == Accepted {
+			ds.Accepted = append(ds.Accepted, int32(i))
+			ds.CleanPath = append(ds.CleanPath, v.clean)
+		}
+	}
+	return ds
+}
+
+// judgePath applies the path-content filters and cleaning of §3.1.
+func judgePath(p bgp.Path, cfg Config) struct {
+	reason Reason
+	clean  bgp.Path
+} {
+	out := struct {
+		reason Reason
+		clean  bgp.Path
+	}{reason: Accepted}
+
+	for _, a := range p {
+		if cfg.Registry != nil && !cfg.Registry.Allocated(a) {
+			out.reason = Unallocated
+			return out
+		}
+	}
+	dedup := p.DedupAdjacent()
+	if dedup.HasNonAdjacentLoop() {
+		out.reason = Loop
+		return out
+	}
+	if cfg.Clique != nil && poisoned(dedup, cfg.Clique) {
+		out.reason = Poisoned
+		return out
+	}
+	// Clean: drop route-server hops, then collapse any prepending.
+	clean := dedup
+	if len(cfg.RouteServers) > 0 {
+		filtered := make(bgp.Path, 0, len(dedup))
+		for _, a := range dedup {
+			if !cfg.RouteServers[a] {
+				filtered = append(filtered, a)
+			}
+		}
+		clean = filtered.DedupAdjacent()
+	}
+	out.clean = clean
+	return out
+}
+
+// poisoned reports whether a non-clique AS sits between two clique ASes,
+// the signature of path poisoning under the valley-free assumption (§3.1).
+func poisoned(p bgp.Path, clique map[asn.ASN]bool) bool {
+	last := -1 // index of the previous clique AS
+	for i, a := range p {
+		if !clique[a] {
+			continue
+		}
+		if last >= 0 && i-last > 1 {
+			return true
+		}
+		last = i
+	}
+	return false
+}
+
+// Len returns the number of accepted records.
+func (d *Dataset) Len() int { return len(d.Accepted) }
+
+// Record returns the i-th accepted record's essentials.
+func (d *Dataset) Record(i int) (vpIdx int32, prefixIdx int32, path bgp.Path) {
+	r := d.Col.Records[d.Accepted[i]]
+	return r.VP, r.Prefix, d.CleanPath[i]
+}
+
+// PrefixOf returns the prefix of accepted record i.
+func (d *Dataset) PrefixOf(i int) netip.Prefix {
+	return d.Col.Prefixes[d.Col.Records[d.Accepted[i]].Prefix]
+}
+
+// CountriesWithPrefixes returns every country that has at least one
+// geolocated prefix, sorted.
+func (d *Dataset) CountriesWithPrefixes() []countries.Code {
+	seen := map[countries.Code]bool{}
+	for _, c := range d.PrefixCountry {
+		if c != "" {
+			seen[c] = true
+		}
+	}
+	out := make([]countries.Code, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,175 @@
+package sanitize
+
+import (
+	"testing"
+
+	"countryrank/internal/asn"
+	"countryrank/internal/bgp"
+	"countryrank/internal/geoloc"
+	"countryrank/internal/routing"
+	"countryrank/internal/topology"
+)
+
+func smallWorld(t *testing.T) (*topology.World, *routing.Collection) {
+	t.Helper()
+	w := topology.Build(topology.Config{Seed: 9, StubScale: 0.1, VPScale: 0.15})
+	col := routing.BuildCollection(w, routing.BuildOptions{})
+	return w, col
+}
+
+func fullConfig(w *topology.World, col *routing.Collection, threshold float64) Config {
+	clique := map[asn.ASN]bool{}
+	for _, a := range w.Clique {
+		clique[a] = true
+	}
+	return Config{
+		Clique:       clique,
+		Registry:     w.Graph.Registry(),
+		RouteServers: w.Graph.RouteServers(),
+		GeoTable:     geoloc.GeolocatePrefixes(w.Geo, col.AnnouncedPrefixes(), threshold),
+	}
+}
+
+func TestRunAccounting(t *testing.T) {
+	w, col := smallWorld(t)
+	ds := Run(col, fullConfig(w, col, 0.5))
+	s := ds.Stats
+	if s.Total != len(col.Records) {
+		t.Fatalf("total = %d, want %d", s.Total, len(col.Records))
+	}
+	sum := 0
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != s.Total {
+		t.Fatalf("reason counts sum to %d, want %d", sum, s.Total)
+	}
+	if s.Counts[Accepted] != len(ds.Accepted) || len(ds.Accepted) != len(ds.CleanPath) {
+		t.Fatal("accepted bookkeeping inconsistent")
+	}
+	// Table 1 shape checks: every reject class is exercised, acceptance in a
+	// plausible band, unstable the biggest path-content reject after VP loc.
+	for _, r := range []Reason{Unstable, Unallocated, Loop, VPNoLocation} {
+		if s.Counts[r] == 0 {
+			t.Errorf("reason %v never triggered", r)
+		}
+	}
+	if pct := s.Pct(Accepted); pct < 50 || pct > 90 {
+		t.Errorf("accepted = %.1f%%, want the Table 1 ballpark (≈70%%)", pct)
+	}
+	if s.Counts[Unstable] < s.Counts[Loop] {
+		t.Error("unstable should dominate loops, as in Table 1")
+	}
+	if s.Rejected() != s.Total-s.Counts[Accepted] {
+		t.Error("Rejected() inconsistent")
+	}
+	if s.Render() == "" {
+		t.Error("Render empty")
+	}
+}
+
+func TestAcceptedPathsAreClean(t *testing.T) {
+	w, col := smallWorld(t)
+	ds := Run(col, fullConfig(w, col, 0.5))
+	rs := w.Graph.RouteServers()
+	reg := w.Graph.Registry()
+	for i := 0; i < ds.Len(); i++ {
+		vpIdx, pfxIdx, p := ds.Record(i)
+		if len(p) == 0 {
+			t.Fatal("accepted record with empty path")
+		}
+		if p.HasNonAdjacentLoop() {
+			t.Fatalf("accepted path has loop: %v", p)
+		}
+		for j, a := range p {
+			if rs[a] {
+				t.Fatalf("accepted path retains route server: %v", p)
+			}
+			if !reg.Allocated(a) {
+				t.Fatalf("accepted path has unallocated ASN: %v", p)
+			}
+			if j > 0 && p[j-1] == a {
+				t.Fatalf("accepted path has prepending: %v", p)
+			}
+		}
+		if ds.VPCountry[vpIdx] == "" {
+			t.Fatal("accepted record from unlocatable VP")
+		}
+		if ds.PrefixCountry[pfxIdx] == "" {
+			t.Fatal("accepted record with unlocatable prefix")
+		}
+	}
+}
+
+func TestJudgePathDirect(t *testing.T) {
+	reg := asn.NewRegistry([]asn.ASN{1, 2, 3, 3356, 1299, 9})
+	clique := map[asn.ASN]bool{3356: true, 1299: true}
+	rs := map[asn.ASN]bool{9: true}
+	cfg := Config{Clique: clique, Registry: reg, RouteServers: rs}
+
+	cases := []struct {
+		name string
+		path bgp.Path
+		want Reason
+	}{
+		{"clean", bgp.Path{1, 2, 3}, Accepted},
+		{"unallocated", bgp.Path{1, 64512, 3}, Unallocated},
+		{"unknown-asn", bgp.Path{1, 77777, 3}, Unallocated},
+		{"loop", bgp.Path{1, 2, 1, 3}, Loop},
+		{"prepend-not-loop", bgp.Path{1, 2, 2, 3}, Accepted},
+		{"poisoned", bgp.Path{3356, 2, 1299, 3}, Poisoned},
+		{"adjacent-clique-ok", bgp.Path{3356, 1299, 3}, Accepted},
+	}
+	for _, c := range cases {
+		got := judgePath(c.path, cfg)
+		if got.reason != c.want {
+			t.Errorf("%s: reason = %v, want %v", c.name, got.reason, c.want)
+		}
+	}
+	// Route-server removal with prepend collapse across the removed hop.
+	got := judgePath(bgp.Path{1, 9, 1, 2}, cfg)
+	// 1 9 1 2 has a non-adjacent loop before cleaning... actually 1,9,1 is a
+	// loop, so it is rejected; use a path where the RS sits between two
+	// different ASes.
+	if got.reason != Loop {
+		t.Errorf("RS loop path: %v", got.reason)
+	}
+	got = judgePath(bgp.Path{1, 9, 2, 3}, cfg)
+	if got.reason != Accepted || !got.clean.Equal(bgp.Path{1, 2, 3}) {
+		t.Errorf("RS removal: %+v", got)
+	}
+}
+
+func TestReasonString(t *testing.T) {
+	for r := Accepted; r < numReasons; r++ {
+		if r.String() == "" {
+			t.Errorf("Reason(%d) empty", r)
+		}
+	}
+	if Reason(200).String() == "" {
+		t.Error("unknown reason should render")
+	}
+}
+
+func TestCountriesWithPrefixes(t *testing.T) {
+	w, col := smallWorld(t)
+	ds := Run(col, fullConfig(w, col, 0.5))
+	cs := ds.CountriesWithPrefixes()
+	if len(cs) < 20 {
+		t.Fatalf("only %d countries with prefixes", len(cs))
+	}
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1] >= cs[i] {
+			t.Fatal("countries not sorted")
+		}
+	}
+	found := map[string]bool{}
+	for _, c := range cs {
+		found[string(c)] = true
+	}
+	for _, c := range []string{"US", "AU", "JP", "RU", "TW"} {
+		if !found[c] {
+			t.Errorf("case-study country %s missing", c)
+		}
+	}
+}

@@ -1,0 +1,575 @@
+package topology
+
+import (
+	"countryrank/internal/asn"
+	"countryrank/internal/countries"
+)
+
+// The world model below is hand-curated to mirror the market structure the
+// paper's case studies describe (§5, §6): each case-study country gets its
+// real anchor ASes with the relationships that produce the paper's observed
+// ranking shapes, and the remaining countries get generic ecosystems whose
+// international upstreams follow the continental patterns of Table 12.
+
+// anchorSpec declares one named AS in a country's market.
+type anchorSpec struct {
+	ASN   asn.ASN
+	Name  string
+	Class Class
+	// Reg overrides the registration country (defaults to the profile's).
+	Reg       countries.Code
+	Providers []asn.ASN
+	Peers     []asn.ASN
+	Prepend   int
+	// AddrShare is the fraction of the country pool this AS originates.
+	AddrShare float64
+	// CoveredPair additionally originates a /15 fully covered by its two /16
+	// halves, exercising the covered-by-more-specifics filter.
+	CoveredPair bool
+	// ExtraOrigins originate address space in other countries' pools.
+	ExtraOrigins []ExtraOrigin
+}
+
+// ExtraOrigin is foreign origination: prefixes carved from Country's pool.
+type ExtraOrigin struct {
+	Country countries.Code
+	Share   float64
+}
+
+// WeightedAS weights a provider in the stub-homing lottery.
+type WeightedAS struct {
+	ASN    asn.ASN
+	Weight float64
+}
+
+// profile describes one country's market.
+type profile struct {
+	Code          countries.Code
+	Anchors       []anchorSpec
+	StubProviders []WeightedAS
+	Stubs         int
+	VPs           int
+	Slash8s       int
+	// MultihomeProb is the chance a stub takes a second provider
+	// (defaulted to 0.30 by the builder when zero).
+	MultihomeProb float64
+	// SplitFrac is the fraction of stub prefixes whose geolocation straddles
+	// a border; SplitFailFrac of those fail the 50% threshold.
+	SplitFrac     float64
+	SplitFailFrac float64
+	Neighbor      countries.Code
+	Neighbor2     countries.Code
+}
+
+// clique returns the ground-truth transit-free clique.
+func clique() []asn.ASN {
+	return []asn.ASN{
+		3356,  // Lumen
+		1299,  // Arelion
+		174,   // Cogent
+		2914,  // NTT America
+		3257,  // GTT
+		6762,  // Telecom Italia Sparkle
+		6453,  // TATA
+		1273,  // Vodafone
+		7018,  // AT&T
+		701,   // Verizon
+		1239,  // Sprint
+		6461,  // Zayo
+		3491,  // PCCW
+		5511,  // Orange
+		12956, // Telefonica
+		3549,  // Lumen APL
+	}
+}
+
+// routeServers lists IXP route-server ASes; they appear in peering paths and
+// are removed during sanitization.
+func routeServers() []AS {
+	return []AS{
+		{ASN: 6695, Name: "DE-CIX RS", Registered: "DE", Class: ClassRouteServer},
+		{ASN: 1200, Name: "AMS-IX RS", Registered: "NL", Class: ClassRouteServer},
+		{ASN: 8714, Name: "LINX RS", Registered: "GB", Class: ClassRouteServer},
+	}
+}
+
+// routeServerFor returns the route server operating in country c, or 0.
+func routeServerFor(c countries.Code) asn.ASN {
+	switch c {
+	case "DE":
+		return 6695
+	case "NL":
+		return 1200
+	case "GB":
+		return 8714
+	}
+	return 0
+}
+
+// worldProfiles returns every country profile in deterministic build order.
+// VP counts follow Table 4; stub counts set the relative AS-census order of
+// the same table; Slash8s set relative address-space sizes.
+func worldProfiles() []profile {
+	ps := []profile{
+		usProfile(), auProfile(), jpProfile(), ruProfile(), twProfile(),
+		nlProfile(), gbProfile(), deProfile(), brProfile(), cnProfile(),
+		// Generic countries, per-continent upstream templates. Countries that
+		// are home to a clique member or named multinational get it added as
+		// an extra anchor via withAnchor.
+		withAnchor(generic("FR", 90, 35, 2, []asn.ASN{5511, 1299, 3356}, nil),
+			anchorSpec{ASN: 5511, Name: "Orange", Class: ClassTier1, AddrShare: 0.05}),
+		withAnchor(generic("IT", 80, 36, 2, []asn.ASN{6762, 1299, 174}, nil),
+			anchorSpec{ASN: 6762, Name: "Telecom Italia Sparkle", Class: ClassTier1, AddrShare: 0.05}),
+		withAnchor(generic("ES", 60, 14, 1, []asn.ASN{12956, 1299, 174}, nil),
+			anchorSpec{ASN: 12956, Name: "Telefonica", Class: ClassTier1, AddrShare: 0.05}),
+		withAnchor(generic("SE", 50, 21, 1, []asn.ASN{1299, 3356}, nil),
+			anchorSpec{ASN: 1299, Name: "Arelion", Class: ClassTier1, AddrShare: 0.04}),
+		generic("CH", 50, 45, 1, []asn.ASN{1299, 3356, 6762}, nil),
+		generic("AT", 45, 41, 1, []asn.ASN{1299, 6762, 174}, nil),
+		withAnchor(generic("SG", 40, 38, 1, []asn.ASN{7473, 3491, 2914}, []asn.ASN{6939}),
+			anchorSpec{ASN: 7473, Name: "Singapore Telecom", Class: ClassTransit,
+				Providers: []asn.ASN{3491, 1299}, AddrShare: 0.05}),
+		withAnchor(generic("ZA", 45, 44, 1, []asn.ASN{16637, 30844, 3356}, nil),
+			anchorSpec{ASN: 16637, Name: "MTN SA", Class: ClassTransit,
+				Providers: []asn.ASN{3356, 1273}, AddrShare: 0.06}),
+		generic("CA", 40, 4, 1, []asn.ASN{3356, 7018, 174}, nil),
+		generic("MX", 30, 2, 1, []asn.ASN{3356, 174, 12956}, nil),
+		generic("MQ", 12, 0, 1, []asn.ASN{5511, 3356}, nil),
+		generic("AR", 35, 3, 1, []asn.ASN{12956, 3356, 6762}, nil),
+		generic("CL", 25, 2, 1, []asn.ASN{12956, 3356}, nil),
+		generic("CO", 25, 2, 1, []asn.ASN{12956, 174, 3356}, nil),
+		generic("PE", 18, 0, 1, []asn.ASN{12956, 3356}, nil),
+		generic("UA", 50, 4, 1, []asn.ASN{1299, 174, 5511, 9002}, nil),
+		generic("LT", 18, 2, 1, []asn.ASN{1299, 1273, 9002}, nil),
+		generic("HR", 15, 1, 1, []asn.ASN{6762, 1299}, nil),
+		generic("GG", 12, 0, 1, []asn.ASN{1273, 1299}, nil),
+		generic("IM", 12, 0, 1, []asn.ASN{1273, 3356}, nil),
+		generic("KE", 20, 2, 1, []asn.ASN{30844, 16637, 6939}, nil),
+		generic("UG", 12, 0, 1, []asn.ASN{30844, 16637}, nil),
+		generic("MA", 15, 1, 1, []asn.ASN{5511, 6762}, nil),
+		generic("CI", 10, 0, 1, []asn.ASN{5511}, nil),
+		generic("TN", 10, 0, 1, []asn.ASN{6762, 5511}, nil),
+		withAnchor(generic("MU", 8, 1, 1, []asn.ASN{37662, 30844}, nil),
+			anchorSpec{ASN: 37662, Name: "WIOCC", Class: ClassTransit,
+				Providers: []asn.ASN{1273, 6453}, AddrShare: 0.05}),
+		generic("NA", 12, 0, 1, []asn.ASN{16637, 37662}, nil),
+		generic("NG", 25, 1, 1, []asn.ASN{30844, 16637, 5511}, nil),
+		generic("EG", 25, 1, 1, []asn.ASN{6762, 5511, 6453}, nil),
+		generic("IN", 60, 4, 2, []asn.ASN{6453, 3491, 1299}, nil),
+		generic("KR", 40, 2, 2, []asn.ASN{3491, 2914, 6939}, nil),
+		withAnchor(generic("HK", 30, 4, 1, []asn.ASN{3491, 6453, 2914}, nil),
+			anchorSpec{ASN: 3491, Name: "PCCW", Class: ClassTier1, AddrShare: 0.05}),
+		generic("KZ", 25, 1, 1, []asn.ASN{12389, 20485, 1299}, nil),
+		generic("KG", 10, 0, 1, []asn.ASN{12389, 20485}, nil),
+		generic("TJ", 8, 0, 1, []asn.ASN{12389, 20485}, nil),
+		generic("TM", 5, 0, 1, []asn.ASN{12389}, nil),
+		generic("UZ", 12, 0, 1, []asn.ASN{12389, 20485, 1299}, nil),
+		generic("AF", 8, 0, 1, []asn.ASN{6453, 12389}, nil),
+		generic("NZ", 25, 3, 1, []asn.ASN{4637, 7473, 6939}, nil),
+		generic("FJ", 5, 0, 1, []asn.ASN{4637, 7473}, nil),
+		generic("PG", 5, 0, 1, []asn.ASN{4637}, nil),
+	}
+	return ps
+}
+
+// withAnchor appends extra anchors to a profile.
+func withAnchor(p profile, anchors ...anchorSpec) profile {
+	p.Anchors = append(p.Anchors, anchors...)
+	return p
+}
+
+// generic builds a standard small-country profile: an incumbent with
+// international and domestic ASes, two challengers, and stubs. Anchor ASNs
+// are derived from a per-country base to stay collision-free.
+func generic(code countries.Code, stubs, vps, slash8s int, upstreams []asn.ASN, extraPeers []asn.ASN) profile {
+	base := genericBase(code)
+	intl := base
+	dom := base + 1
+	ch1 := base + 2
+	ch2 := base + 3
+	intlProviders := upstreams
+	if len(intlProviders) > 2 {
+		intlProviders = intlProviders[:2]
+	}
+	ch1Prov := []asn.ASN{dom}
+	ch2Prov := []asn.ASN{intl}
+	if len(upstreams) > 1 {
+		ch2Prov = append(ch2Prov, upstreams[1])
+	}
+	if len(upstreams) > 2 {
+		ch1Prov = append(ch1Prov, upstreams[2])
+	}
+	anchors := []anchorSpec{
+		{ASN: intl, Name: string(code) + " Intl", Class: ClassTransit, Providers: intlProviders, Peers: extraPeers, AddrShare: 0.05},
+		{ASN: dom, Name: string(code) + " Telecom", Class: ClassAccess, Providers: []asn.ASN{intl}, AddrShare: 0.30},
+		{ASN: ch1, Name: string(code) + " Net", Class: ClassAccess, Providers: ch1Prov, AddrShare: 0.12},
+		{ASN: ch2, Name: string(code) + " Online", Class: ClassAccess, Providers: ch2Prov, Peers: []asn.ASN{dom}, AddrShare: 0.10},
+	}
+	return profile{
+		Code:    code,
+		Anchors: anchors,
+		StubProviders: []WeightedAS{
+			{dom, 0.45}, {ch1, 0.2}, {ch2, 0.15}, {intl, 0.1}, {upstreams[0], 0.1},
+		},
+		Stubs: stubs, VPs: vps, Slash8s: slash8s,
+		SplitFrac: splitFracFor(code), SplitFailFrac: splitFailFor(code),
+		Neighbor: neighborFor(code), Neighbor2: neighbor2For(code),
+	}
+}
+
+// genericBase assigns each generic country a disjoint ASN block.
+func genericBase(code countries.Code) asn.ASN {
+	// Deterministic, readable bases well away from curated anchors and the
+	// 100000+ stub range.
+	bases := map[countries.Code]asn.ASN{
+		"FR": 15557, "IT": 30722, "ES": 12479, "SE": 39651, "CH": 21040,
+		"AT": 25255, "SG": 17645, "ZA": 36994, "CA": 21570, "MX": 28509,
+		"MQ": 33392, "AR": 27747, "CL": 27651, "CO": 26611, "PE": 28970,
+		"UA": 15895, "LT": 43811, "HR": 43940, "GG": 42689, "IM": 13666,
+		"KE": 33771, "UG": 20294, "MA": 36903, "CI": 29571, "TN": 37693,
+		"MU": 23889, "NA": 37105, "NG": 29465, "EG": 24835, "IN": 45609,
+		"KR": 45996, "HK": 45102, "KZ": 29555, "KG": 47328, "TJ": 43197,
+		"TM": 20661, "UZ": 28910, "AF": 38742, "NZ": 45177, "FJ": 45355,
+		"PG": 45862, "NL": 50266, "GB": 52873, "DE": 51167, "BR": 52863,
+	}
+	b, ok := bases[code]
+	if !ok {
+		panic("topology: no generic base for " + string(code))
+	}
+	return b
+}
+
+func splitFracFor(code countries.Code) float64 {
+	switch code {
+	case "IM", "GG", "MQ", "NA": // Table 13's most-filtered countries
+		return 0.9
+	case "AF", "HR", "LT", "IN": // Table 14's most-filtered countries
+		return 0.45
+	case "CH", "AT", "LU":
+		return 0.1
+	}
+	return 0.04
+}
+
+func splitFailFor(code countries.Code) float64 {
+	switch code {
+	case "IM", "GG", "MQ", "NA":
+		return 0.8
+	case "AF", "HR", "LT", "IN":
+		return 0.7
+	}
+	return 0.25
+}
+
+func neighborFor(code countries.Code) countries.Code {
+	m := map[countries.Code]countries.Code{
+		"IM": "GB", "GG": "GB", "MQ": "FR", "NA": "ZA", "AF": "TJ",
+		"HR": "IT", "LT": "SE", "IN": "SG", "CH": "DE", "AT": "DE",
+		"CA": "US", "MX": "US", "UA": "RU", "KZ": "RU",
+	}
+	if n, ok := m[code]; ok {
+		return n
+	}
+	return "DE" // arbitrary but deterministic cross-border bleed
+}
+
+func neighbor2For(code countries.Code) countries.Code {
+	m := map[countries.Code]countries.Code{
+		"IM": "US", "GG": "FR", "MQ": "US", "NA": "GB", "AF": "IN",
+		"HR": "DE", "LT": "GB", "IN": "HK",
+	}
+	if n, ok := m[code]; ok {
+		return n
+	}
+	return "FR"
+}
+
+func usProfile() profile {
+	return profile{
+		Code: "US",
+		Anchors: []anchorSpec{
+			{ASN: 3356, Name: "Lumen", Class: ClassTier1, AddrShare: 0.10, CoveredPair: true},
+			{ASN: 7018, Name: "AT&T", Class: ClassTier1, AddrShare: 0.14},
+			{ASN: 701, Name: "Verizon", Class: ClassTier1, AddrShare: 0.12},
+			{ASN: 174, Name: "Cogent", Class: ClassTier1, AddrShare: 0.03},
+			{ASN: 1239, Name: "Sprint", Class: ClassTier1, AddrShare: 0.03},
+			{ASN: 6461, Name: "Zayo", Class: ClassTier1, AddrShare: 0.02},
+			{ASN: 3257, Name: "GTT", Class: ClassTier1, AddrShare: 0.02},
+			{ASN: 2914, Name: "NTT America", Class: ClassTier1, AddrShare: 0.02},
+			{ASN: 3549, Name: "Lumen APL", Class: ClassTier1, Providers: []asn.ASN{3356}, AddrShare: 0.02},
+			{ASN: 6453, Name: "TATA America", Class: ClassTier1, AddrShare: 0.01},
+			// Hurricane: outside the clique, peers with everyone (added in
+			// Build), carries a real customer base.
+			{ASN: 6939, Name: "Hurricane", Class: ClassTransit,
+				Peers:     []asn.ASN{3356, 1299, 174, 2914, 3257, 6762, 6453, 1273, 7018, 701, 1239, 6461, 3491, 5511, 12956, 3549},
+				AddrShare: 0.02},
+			{ASN: 16509, Name: "Amazon", Class: ClassContent,
+				Providers: []asn.ASN{3356, 174},
+				Peers:     []asn.ASN{6939, 7018, 701},
+				AddrShare: 0.05,
+				ExtraOrigins: []ExtraOrigin{
+					{Country: "AU", Share: 0.05},
+					{Country: "DE", Share: 0.03},
+					{Country: "JP", Share: 0.02},
+				}},
+			{ASN: 20940, Name: "Akamai", Class: ClassContent, Reg: "NL",
+				Providers: []asn.ASN{1299, 3356},
+				Peers:     []asn.ASN{6939, 2914},
+				AddrShare: 0.01},
+			{ASN: 9002, Name: "RETN", Class: ClassTransit, Reg: "EU",
+				Providers: []asn.ASN{1299, 1273},
+				AddrShare: 0.005},
+		},
+		StubProviders: []WeightedAS{
+			{3356, 0.18}, {7018, 0.16}, {701, 0.12}, {174, 0.10},
+			{6939, 0.22}, {1239, 0.06}, {6461, 0.06}, {3257, 0.05}, {2914, 0.05},
+		},
+		Stubs: 300, VPs: 101, Slash8s: 12, MultihomeProb: 0.55,
+		SplitFrac: 0.01, SplitFailFrac: 0.1, Neighbor: "CA", Neighbor2: "MX",
+	}
+}
+
+func auProfile() profile {
+	return profile{
+		Code: "AU",
+		Anchors: []anchorSpec{
+			// Telstra's international arm: the paper's archetype of the
+			// incumbent running separate international and domestic ASes.
+			{ASN: 4637, Name: "Telstra Global", Class: ClassTransit,
+				Providers: []asn.ASN{3356, 1299},
+				Peers:     []asn.ASN{2914, 3257, 7473, 3491}},
+			{ASN: 1221, Name: "Telstra", Class: ClassAccess,
+				Providers: []asn.ASN{4637, 4826}, // dual-homed: Telstra Global + Vocus
+				Peers:     []asn.ASN{6939},       // domestic+HE peering keeps national paths off 4637
+				AddrShare: 0.30},
+			{ASN: 4826, Name: "Vocus", Class: ClassTransit,
+				Providers: []asn.ASN{1299, 6461},
+				Peers:     []asn.ASN{7545},
+				AddrShare: 0.06},
+			{ASN: 7545, Name: "TPG", Class: ClassAccess,
+				Providers: []asn.ASN{4826},
+				Peers:     []asn.ASN{1221},
+				AddrShare: 0.12},
+			{ASN: 7474, Name: "SingTel Optus", Class: ClassAccess,
+				Providers: []asn.ASN{7473, 4804},
+				Peers:     []asn.ASN{1221, 4826, 7545},
+				AddrShare: 0.13},
+			{ASN: 4804, Name: "SingTel Optus Intl", Class: ClassTransit,
+				Providers: []asn.ASN{7473, 3356},
+				Peers:     []asn.ASN{1221, 4826}},
+		},
+		// Telstra Global (4637) sells international wholesale, not domestic
+		// edge transit: no stub homes on it, keeping AHN(4637) ≈ 0 (§5.1).
+		StubProviders: []WeightedAS{
+			{1221, 0.44}, {4826, 0.22}, {7474, 0.14}, {7545, 0.12}, {6939, 0.08},
+		},
+		Stubs: 70, VPs: 25, Slash8s: 2,
+		SplitFrac: 0.02, SplitFailFrac: 0.1, Neighbor: "NZ",
+	}
+}
+
+func jpProfile() profile {
+	return profile{
+		Code: "JP",
+		Anchors: []anchorSpec{
+			// NTT OCN: the domestic arm; NTT America (2914) is its only
+			// provider, mirroring the Verio acquisition history (§5.2).
+			{ASN: 4713, Name: "NTT OCN", Class: ClassAccess,
+				Providers: []asn.ASN{2914},
+				AddrShare: 0.16},
+			{ASN: 2516, Name: "KDDI", Class: ClassAccess,
+				Providers: []asn.ASN{2914, 3257},
+				Peers:     []asn.ASN{4713},
+				AddrShare: 0.18},
+			{ASN: 17676, Name: "SoftBank", Class: ClassAccess,
+				Providers: []asn.ASN{2914, 3257},
+				Peers:     []asn.ASN{4713, 2516},
+				AddrShare: 0.17},
+			{ASN: 2497, Name: "IIJ", Class: ClassTransit,
+				Providers: []asn.ASN{2914, 1299},
+				Peers:     []asn.ASN{2516, 17676},
+				AddrShare: 0.05},
+		},
+		StubProviders: []WeightedAS{
+			{4713, 0.30}, {2516, 0.25}, {17676, 0.20}, {2497, 0.15}, {2914, 0.10},
+		},
+		Stubs: 70, VPs: 7, Slash8s: 4,
+		SplitFrac: 0.05, SplitFailFrac: 0.3, Neighbor: "KR", Neighbor2: "HK",
+	}
+}
+
+func ruProfile() profile {
+	return profile{
+		Code: "RU",
+		Anchors: []anchorSpec{
+			// Rostelecom: the state incumbent; buys international transit
+			// from Western multinationals, which is the dependence §6.1
+			// finds intact after the invasion.
+			{ASN: 12389, Name: "Rostelecom", Class: ClassAccess,
+				Providers: []asn.ASN{3356, 1299, 174},
+				AddrShare: 0.22},
+			{ASN: 20485, Name: "TransTelecom", Class: ClassTransit,
+				Providers: []asn.ASN{1273, 3356},
+				AddrShare: 0.04},
+			{ASN: 9049, Name: "ER-Telecom", Class: ClassAccess,
+				Providers: []asn.ASN{12389, 1299},
+				AddrShare: 0.13},
+			{ASN: 8359, Name: "MTS PJSC", Class: ClassAccess,
+				Providers: []asn.ASN{20485, 1273, 3257},
+				AddrShare: 0.12},
+			{ASN: 3216, Name: "Vimpelcom", Class: ClassAccess,
+				Providers: []asn.ASN{3356, 1273, 3257},
+				AddrShare: 0.10},
+			{ASN: 31133, Name: "MegaFon", Class: ClassAccess,
+				Providers: []asn.ASN{20485, 9002},
+				AddrShare: 0.08},
+			{ASN: 8402, Name: "Vimpelcom Broadband", Class: ClassAccess,
+				Providers: []asn.ASN{3216, 12389},
+				AddrShare: 0.06},
+		},
+		// Russian ISPs historically do not peer domestically much; stubs home
+		// on the national carriers, whose own transit is foreign. That makes
+		// even domestic paths climb through multinationals, reproducing the
+		// high CCN of Vodafone/TransTelecom in Table 7.
+		StubProviders: []WeightedAS{
+			{12389, 0.30}, {9049, 0.15}, {8359, 0.15}, {3216, 0.12},
+			{31133, 0.10}, {20485, 0.10}, {8402, 0.08},
+		},
+		Stubs: 140, VPs: 18, Slash8s: 2,
+		SplitFrac: 0.03, SplitFailFrac: 0.2, Neighbor: "KZ", Neighbor2: "UA",
+	}
+}
+
+func twProfile() profile {
+	return profile{
+		Code: "TW",
+		Anchors: []anchorSpec{
+			{ASN: 9505, Name: "Chunghwa Intl", Class: ClassTransit,
+				Providers: []asn.ASN{3356, 1299, 174}},
+			{ASN: 3462, Name: "Chunghwa HiNet", Class: ClassAccess,
+				Providers: []asn.ASN{9505},
+				AddrShare: 0.33},
+			{ASN: 9680, Name: "Data Comm", Class: ClassAccess,
+				Providers: []asn.ASN{3462, 9505},
+				AddrShare: 0.12},
+			{ASN: 4780, Name: "Digital United", Class: ClassTransit,
+				// In 2021 China Telecom still provided transit (removed in
+				// the 2023 scenario, dropping 4134 from TW's CCI top 10).
+				Providers: []asn.ASN{3356, 9505, 4134},
+				AddrShare: 0.10},
+			{ASN: 1659, Name: "TANet", Class: ClassAccess,
+				Providers: []asn.ASN{4780, 9505},
+				AddrShare: 0.09},
+			{ASN: 17717, Name: "Ministry of Education", Class: ClassStub,
+				Providers: []asn.ASN{1659, 3462},
+				AddrShare: 0.05},
+			{ASN: 9924, Name: "Taiwan Fixed", Class: ClassAccess,
+				Providers: []asn.ASN{4780, 3257},
+				AddrShare: 0.09},
+			{ASN: 9674, Name: "Far EasTone", Class: ClassAccess,
+				Providers: []asn.ASN{9680, 9505},
+				AddrShare: 0.07},
+		},
+		StubProviders: []WeightedAS{
+			{3462, 0.40}, {9680, 0.16}, {4780, 0.14}, {9924, 0.12}, {9674, 0.10}, {1659, 0.08},
+		},
+		Stubs: 35, VPs: 3, Slash8s: 1,
+		SplitFrac: 0.02, SplitFailFrac: 0.2, Neighbor: "HK",
+	}
+}
+
+func cnProfile() profile {
+	return profile{
+		Code: "CN",
+		Anchors: []anchorSpec{
+			{ASN: 4134, Name: "China Telecom", Class: ClassTransit,
+				Providers: []asn.ASN{3356, 1299, 3491},
+				AddrShare: 0.35},
+			{ASN: 4837, Name: "China Unicom", Class: ClassAccess,
+				Providers: []asn.ASN{4134, 3491},
+				AddrShare: 0.25},
+			{ASN: 58453, Name: "China Mobile Intl", Class: ClassTransit,
+				Providers: []asn.ASN{3491, 6453},
+				AddrShare: 0.15},
+		},
+		StubProviders: []WeightedAS{{4134, 0.5}, {4837, 0.3}, {58453, 0.2}},
+		Stubs:         80, VPs: 0, Slash8s: 4,
+		SplitFrac: 0.01, SplitFailFrac: 0.2, Neighbor: "HK",
+	}
+}
+
+func nlProfile() profile {
+	p := generic("NL", 150, 141, 2, []asn.ASN{1299, 3356, 1273}, nil)
+	p.Anchors = append(p.Anchors, anchorSpec{
+		ASN: 1136, Name: "KPN", Class: ClassAccess,
+		Providers: []asn.ASN{1299, 3356},
+		AddrShare: 0.15,
+	})
+	p.StubProviders = append(p.StubProviders, WeightedAS{1136, 0.3})
+	return p
+}
+
+func gbProfile() profile {
+	p := generic("GB", 120, 105, 2, []asn.ASN{1273, 1299, 3356}, nil)
+	p.Anchors = append(p.Anchors,
+		anchorSpec{ASN: 1273, Name: "Vodafone", Class: ClassTier1, AddrShare: 0.03},
+		anchorSpec{ASN: 2856, Name: "BT", Class: ClassAccess,
+			Providers: []asn.ASN{1273, 1299}, AddrShare: 0.15},
+		anchorSpec{ASN: 30844, Name: "Liquid Telecom", Class: ClassTransit,
+			Providers: []asn.ASN{1273, 3356}, AddrShare: 0.01},
+	)
+	p.StubProviders = append(p.StubProviders, WeightedAS{2856, 0.3})
+	return p
+}
+
+func deProfile() profile {
+	p := generic("DE", 120, 73, 3, []asn.ASN{1299, 3356, 174}, nil)
+	p.Anchors = append(p.Anchors, anchorSpec{
+		ASN: 3320, Name: "Deutsche Telekom", Class: ClassAccess,
+		Providers: []asn.ASN{1299, 3356},
+		AddrShare: 0.20,
+	})
+	p.StubProviders = append(p.StubProviders, WeightedAS{3320, 0.35})
+	return p
+}
+
+func brProfile() profile {
+	p := generic("BR", 180, 46, 3, []asn.ASN{3356, 12956, 6762}, nil)
+	p.Anchors = append(p.Anchors, anchorSpec{
+		ASN: 4230, Name: "Claro Embratel", Class: ClassAccess,
+		Providers: []asn.ASN{3356, 12956},
+		AddrShare: 0.18,
+	})
+	p.StubProviders = append(p.StubProviders, WeightedAS{4230, 0.3})
+	return p
+}
+
+// applyMar2023 mutates the 2021 world into the March 2023 scenario:
+//   - Taiwan: China Telecom's transit into Taiwan is gone (§6.2).
+//   - Russia: GTT withdraws from the Russian market; Orange and Cogent pick
+//     up the affected customers; domestic churn shifts hegemony mildly, but
+//     the foreign-transit dependence remains (§6.1, Table 10).
+func applyMar2023(g *Graph) {
+	// Taiwan de-peering from China Telecom.
+	g.RemoveEdge(4134, 4780)
+
+	// GTT leaves Russia: MTS and Vimpelcom rehome to Orange and Cogent.
+	g.RemoveEdge(3257, 8359)
+	g.RemoveEdge(3257, 3216)
+	mustP2C(g, 5511, 8359)
+	mustP2C(g, 174, 3216)
+	// Cogent also gains TransTelecom, raising its Russian cone (Table 10's
+	// CCI jump for AS 174).
+	mustP2C(g, 174, 20485)
+	// MegaFon grows: picks up Arelion transit directly.
+	mustP2C(g, 1299, 31133)
+}
+
+func mustP2C(g *Graph, provider, customer asn.ASN) {
+	if g.Rel(provider, customer) != RelNone {
+		return
+	}
+	if err := g.AddP2C(provider, customer); err != nil {
+		panic(err)
+	}
+}
