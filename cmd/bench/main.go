@@ -1,0 +1,203 @@
+// Command bench runs the repo's benchmark suite and writes a machine-readable
+// snapshot for regression tracking. It shells out to `go test -bench`, parses
+// the standard benchmark output lines, and emits BENCH_<date>.json with ns/op,
+// B/op, and allocs/op per benchmark.
+//
+// Usage:
+//
+//	bench [-bench REGEX] [-benchtime T] [-count N] [-out FILE] [-baseline FILE]
+//
+// With -baseline, the snapshot is compared against a previous BENCH_*.json and
+// per-benchmark ratios are printed; the command exits 1 if any benchmark
+// regressed in ns/op beyond -tolerance (default 1.30, i.e. 30% slower).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the file format written to BENCH_<date>.json.
+type Snapshot struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	Bench     string   `json:"bench"`
+	BenchTime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+// benchLine matches standard `go test -bench` output, e.g.
+//
+//	BenchmarkFigure2WorkedExample-8   3   2086155 ns/op   1585464 B/op   3512 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "passed to go test -benchtime")
+	count := flag.Int("count", 1, "passed to go test -count")
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	baseline := flag.String("baseline", "", "previous BENCH_*.json to compare against")
+	tolerance := flag.Float64("tolerance", 1.30, "max allowed ns/op ratio vs baseline before exit 1")
+	flag.Parse()
+
+	date := time.Now().UTC().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", date)
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *bench, "-benchmem",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), ".")
+	cmd.Stderr = os.Stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	snap := Snapshot{Date: date, Bench: *bench, BenchTime: *benchtime}
+	sc := bufio.NewScanner(pipe)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if strings.HasPrefix(line, "goarch:") || strings.HasPrefix(line, "pkg:") {
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := Result{Name: m[1]}
+		r.Iters, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			r.AllocsOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		snap.Results = append(snap.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		log.Fatalf("go test -bench failed: %v", err)
+	}
+	if len(snap.Results) == 0 {
+		log.Fatal("no benchmark lines parsed; check the -bench regex")
+	}
+	snap.GoVersion = goVersion()
+
+	// -count>1 repeats each benchmark; keep the best (lowest ns/op) run.
+	snap.Results = bestRuns(snap.Results)
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d benchmarks)", path, len(snap.Results))
+
+	if *baseline != "" {
+		if failed := compare(*baseline, snap, *tolerance); failed {
+			os.Exit(1)
+		}
+	}
+}
+
+func goVersion() string {
+	out, err := exec.Command("go", "version").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// bestRuns collapses repeated measurements of the same benchmark to the
+// fastest one, preserving first-appearance order.
+func bestRuns(rs []Result) []Result {
+	idx := map[string]int{}
+	out := rs[:0]
+	for _, r := range rs {
+		if i, ok := idx[r.Name]; ok {
+			if r.NsPerOp < out[i].NsPerOp {
+				out[i] = r
+			}
+			continue
+		}
+		idx[r.Name] = len(out)
+		out = append(out, r)
+	}
+	return out
+}
+
+func compare(baselinePath string, cur Snapshot, tolerance float64) (failed bool) {
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base Snapshot
+	if err := json.Unmarshal(buf, &base); err != nil {
+		log.Fatalf("parse %s: %v", baselinePath, err)
+	}
+	old := map[string]Result{}
+	for _, r := range base.Results {
+		old[r.Name] = r
+	}
+	names := make([]string, 0, len(cur.Results))
+	for _, r := range cur.Results {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	byName := map[string]Result{}
+	for _, r := range cur.Results {
+		byName[r.Name] = r
+	}
+	fmt.Printf("\n%-45s %12s %12s %8s\n", "benchmark", "base ns/op", "cur ns/op", "ratio")
+	for _, name := range names {
+		r := byName[name]
+		b, ok := old[name]
+		if !ok || b.NsPerOp == 0 {
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		mark := ""
+		if ratio > tolerance {
+			mark = "  REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-45s %12.0f %12.0f %7.2fx%s\n", name, b.NsPerOp, r.NsPerOp, ratio, mark)
+	}
+	if failed {
+		log.Printf("ns/op regression beyond %.2fx tolerance vs %s", tolerance, baselinePath)
+	}
+	return failed
+}

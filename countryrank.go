@@ -73,6 +73,16 @@ const (
 	Mar2023 = topology.Mar2023
 )
 
+// Option sentinels. The zero value of Options.Trim / Options.Threshold
+// selects the paper's defaults; these request an actual zero instead.
+const (
+	// NoTrim disables AH/CTI trimming (the trim ablation).
+	NoTrim = core.NoTrim
+	// PluralityThreshold geolocates a prefix to any plurality country
+	// rather than requiring a majority.
+	PluralityThreshold = core.PluralityThreshold
+)
+
 // NewPipeline builds a synthetic world per the options and runs the full
 // processing pipeline over it (Figure 6 of the paper).
 func NewPipeline(opt Options) *Pipeline { return core.NewPipeline(opt) }

@@ -9,6 +9,9 @@
 package cone
 
 import (
+	"slices"
+	"sync"
+
 	"countryrank/internal/asn"
 	"countryrank/internal/bgp"
 	"countryrank/internal/relation"
@@ -46,10 +49,179 @@ func (s Scores) Shares() map[asn.ASN]float64 {
 	return out
 }
 
+// scratch holds the dense kernel's reusable pair buffers: cone membership
+// is collected as packed (AS id, prefix) and (AS id, member id) pairs, then
+// sorted and deduplicated, which replaces the per-AS set maps with two flat
+// sorts. Nothing in it escapes Compute.
+type scratch struct {
+	pairPfx []uint64 // id<<32 | prefix index
+	pairAS  []uint64 // id<<32 | member id
+	pfxSeen []bool   // per prefix: already counted toward Total
+	pfxUsed []int32  // prefixes marked in pfxSeen, for O(touched) reset
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// Starts precomputes, for every accepted record, the index where the
+// retained provider→customer chain begins (len(path)-1 when only the
+// origin's self-membership survives). The result depends only on (ds, rels)
+// — never on the view — so callers that compute cones over many views or
+// VP subsets of the same dataset can pay the relationship lookups once and
+// pass the result to ComputeFrom.
+func Starts(ds *sanitize.Dataset, rels relation.Oracle) []int32 {
+	starts := make([]int32, ds.Len())
+	for i := range starts {
+		_, _, path := ds.Record(i)
+		starts[i] = recordStart(path, rels)
+	}
+	return starts
+}
+
+// recordStart resolves one record's retained-chain start (see Starts); a
+// negative value means the record contributes nothing.
+func recordStart(path bgp.Path, rels relation.Oracle) int32 {
+	start := chainStart(path, rels)
+	if start < 0 {
+		return -1
+	}
+	// The retained segment must be a pure provider→customer chain down to
+	// the origin; if any link breaks (possible with imperfect inferred
+	// relationships), the record contributes nothing beyond the origin's
+	// self-membership.
+	for j := start; j+1 < len(path); j++ {
+		if rels.Rel(path[j], path[j+1]) != topology.RelP2C {
+			return int32(len(path) - 1)
+		}
+	}
+	return int32(start)
+}
+
 // Compute calculates cones over the given accepted-record positions of ds
 // (pass nil for all records). rels supplies relationship labels — the
 // ground-truth graph or an inferred table.
+//
+// The dense-id kernel is bit-identical to the retained map-based reference
+// (computeMapRef), which the property tests enforce.
 func Compute(ds *sanitize.Dataset, recs []int32, rels relation.Oracle) Scores {
+	return ComputeFrom(ds, recs, rels, nil)
+}
+
+// ComputeFrom is Compute with optionally precomputed chain starts (see
+// Starts); pass nil to resolve them on the fly.
+func ComputeFrom(ds *sanitize.Dataset, recs []int32, rels relation.Oracle, starts []int32) Scores {
+	return compute(ds, recs, rels, starts, true)
+}
+
+// ComputeAddresses is ComputeFrom without the ASes (cone-membership count)
+// map. Membership pairs are quadratic in chain length and their sort
+// dominates the kernel, so rankings that only consume address shares —
+// every CC* metric, including each stability trial — use this form.
+func ComputeAddresses(ds *sanitize.Dataset, recs []int32, rels relation.Oracle, starts []int32) Scores {
+	return compute(ds, recs, rels, starts, false)
+}
+
+func compute(ds *sanitize.Dataset, recs []int32, rels relation.Oracle, starts []int32, wantASes bool) Scores {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.pairPfx = sc.pairPfx[:0]
+	sc.pairAS = sc.pairAS[:0]
+	// pfxSeen is all-false between calls (reset below via pfxUsed), so
+	// sizing it costs O(touched prefixes), not O(total prefixes), per call.
+	if cap(sc.pfxSeen) < len(ds.Weight) {
+		sc.pfxSeen = make([]bool, len(ds.Weight))
+	}
+	sc.pfxSeen = sc.pfxSeen[:len(ds.Weight)]
+	sc.pfxUsed = sc.pfxUsed[:0]
+	defer func() {
+		for _, p := range sc.pfxUsed {
+			sc.pfxSeen[p] = false
+		}
+	}()
+
+	s := Scores{}
+	each(ds, recs, func(i int) {
+		_, pfxIdx, path := ds.Record(i)
+		ids := ds.PathIDs[i]
+		if !sc.pfxSeen[pfxIdx] {
+			sc.pfxSeen[pfxIdx] = true
+			sc.pfxUsed = append(sc.pfxUsed, pfxIdx)
+			s.Total += ds.Weight[pfxIdx]
+		}
+		var start int
+		if starts != nil {
+			start = int(starts[i])
+		} else {
+			start = int(recordStart(path, rels))
+		}
+		if start < 0 {
+			return
+		}
+		for j := start; j < len(path); j++ {
+			hi := uint64(uint32(ids[j])) << 32
+			sc.pairPfx = append(sc.pairPfx, hi|uint64(uint32(pfxIdx)))
+			if !wantASes {
+				continue
+			}
+			// An AS's cone contains itself and every AS observed
+			// downstream of it on the retained chain.
+			for k := j; k < len(path); k++ {
+				sc.pairAS = append(sc.pairAS, hi|uint64(uint32(ids[k])))
+			}
+		}
+	})
+
+	slices.Sort(sc.pairPfx)
+
+	s.Addresses = make(map[asn.ASN]uint64, distinctHigh(sc.pairPfx))
+	var sum uint64
+	flushPairs(sc.pairPfx, func(pair uint64) {
+		sum += ds.Weight[int32(uint32(pair))]
+	}, func(id int32) {
+		s.Addresses[ds.ASNOf[id]] = sum
+		sum = 0
+	})
+
+	if wantASes {
+		slices.Sort(sc.pairAS)
+		s.ASes = make(map[asn.ASN]int, distinctHigh(sc.pairAS))
+		members := 0
+		flushPairs(sc.pairAS, func(pair uint64) {
+			members++
+		}, func(id int32) {
+			s.ASes[ds.ASNOf[id]] = members
+			members = 0
+		})
+	}
+	return s
+}
+
+// flushPairs walks sorted packed pairs, calling visit once per distinct
+// pair and flush(id) at the end of each distinct high-word (AS id) run.
+func flushPairs(pairs []uint64, visit func(pair uint64), flush func(id int32)) {
+	for k := 0; k < len(pairs); k++ {
+		if k == 0 || pairs[k] != pairs[k-1] {
+			visit(pairs[k])
+		}
+		if k+1 == len(pairs) || pairs[k+1]>>32 != pairs[k]>>32 {
+			flush(int32(pairs[k] >> 32))
+		}
+	}
+}
+
+// distinctHigh counts distinct high words in sorted packed pairs.
+func distinctHigh(pairs []uint64) int {
+	n := 0
+	for k := range pairs {
+		if k == 0 || pairs[k]>>32 != pairs[k-1]>>32 {
+			n++
+		}
+	}
+	return n
+}
+
+// computeMapRef is the original ASN-keyed map implementation, retained as
+// the executable specification the dense kernel is property-tested against.
+func computeMapRef(ds *sanitize.Dataset, recs []int32, rels relation.Oracle) Scores {
 	// conePrefixes[a] tracks distinct prefix indexes per AS; coneASes[a]
 	// tracks the distinct downstream ASes (cone membership).
 	conePrefixes := map[asn.ASN]map[int32]struct{}{}
@@ -63,10 +235,7 @@ func Compute(ds *sanitize.Dataset, recs []int32, rels relation.Oracle) Scores {
 		if start < 0 {
 			return
 		}
-		// The retained segment must be a pure provider→customer chain down
-		// to the origin; if any link breaks (possible with imperfect
-		// inferred relationships), the record contributes nothing beyond
-		// the origin's self-membership.
+		// See Compute: a broken chain keeps only the origin in scope.
 		for j := start; j+1 < len(path); j++ {
 			if rels.Rel(path[j], path[j+1]) != topology.RelP2C {
 				start = len(path) - 1
@@ -85,8 +254,6 @@ func Compute(ds *sanitize.Dataset, recs []int32, rels relation.Oracle) Scores {
 				members = map[asn.ASN]struct{}{}
 				coneASes[path[j]] = members
 			}
-			// An AS's cone contains itself and every AS observed
-			// downstream of it on the retained chain.
 			for k := j; k < len(path); k++ {
 				members[path[k]] = struct{}{}
 			}

@@ -1,0 +1,54 @@
+package cone_test
+
+import (
+	"reflect"
+	"testing"
+
+	"countryrank/internal/cone"
+	"countryrank/internal/core"
+)
+
+// TestDenseMatchesMapReference: over several generated worlds and views,
+// on both ground-truth and inferred relationships, the dense pair-sort
+// kernel must produce byte-identical Scores to the retained map-based
+// reference.
+func TestDenseMatchesMapReference(t *testing.T) {
+	for _, seed := range []int64{1, 5} {
+		opt := core.Options{Seed: seed, StubScale: 0.15, VPScale: 0.2}
+		if seed == 5 {
+			opt.InferRelationships = true // exercise broken-chain handling
+		}
+		p := core.NewPipeline(opt)
+		views := map[string][]int32{
+			"global":      nil,
+			"intl-AU":     p.ViewRecords(core.International, "AU"),
+			"intl-US":     p.ViewRecords(core.International, "US"),
+			"natl-JP":     p.ViewRecords(core.National, "JP"),
+			"outbound-RU": p.ViewRecords(core.Outbound, "RU"),
+			"empty":       p.ViewRecords(core.National, "ZZ"),
+		}
+		for name, recs := range views {
+			got := cone.Compute(p.DS, recs, p.Rels)
+			want := cone.ComputeMapRef(p.DS, recs, p.Rels)
+			if got.Total != want.Total {
+				t.Fatalf("seed %d %s: Total %d != %d", seed, name, got.Total, want.Total)
+			}
+			if !reflect.DeepEqual(got.Addresses, want.Addresses) {
+				t.Fatalf("seed %d %s: Addresses diverge (%d vs %d ASes)",
+					seed, name, len(got.Addresses), len(want.Addresses))
+			}
+			if !reflect.DeepEqual(got.ASes, want.ASes) {
+				t.Fatalf("seed %d %s: ASes diverge (%d vs %d)",
+					seed, name, len(got.ASes), len(want.ASes))
+			}
+			starts := cone.Starts(p.DS, p.Rels)
+			addr := cone.ComputeAddresses(p.DS, recs, p.Rels, starts)
+			if addr.Total != want.Total || !reflect.DeepEqual(addr.Addresses, want.Addresses) {
+				t.Fatalf("seed %d %s: ComputeAddresses diverges from reference", seed, name)
+			}
+			if addr.ASes != nil {
+				t.Fatalf("seed %d %s: ComputeAddresses must leave ASes nil", seed, name)
+			}
+		}
+	}
+}

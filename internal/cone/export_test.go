@@ -1,0 +1,5 @@
+package cone
+
+// ComputeMapRef exposes the retained map-based reference implementation to
+// the equivalence property tests.
+var ComputeMapRef = computeMapRef

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"countryrank/internal/hegemony"
+)
+
+// TestStabilityDeterministic pins the parallel Stability contract: for a
+// fixed seed the output depends only on the seed, never on scheduling.
+func TestStabilityDeterministic(t *testing.T) {
+	p := NewPipeline(smallOpts())
+	sizes := []int{2, 4, 8}
+	a := p.Stability(CCI, "AU", sizes, 6, 7)
+	b := p.Stability(CCI, "AU", sizes, 6, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("parallel Stability not deterministic for fixed seed:\n%v\n%v", a, b)
+	}
+	c := p.Stability(CCI, "AU", sizes, 6, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical Stability curves; sub-seeding looks broken")
+	}
+}
+
+// TestOptionSentinels covers the Trim/Threshold zero-value design: the zero
+// value means "paper default", the negative sentinels request an actual
+// zero, and other values pass through.
+func TestOptionSentinels(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Options
+		trim float64
+		thr  float64
+	}{
+		{"defaults", Options{}, hegemony.DefaultTrim, 0.5},
+		{"no-trim ablation", Options{Trim: NoTrim}, 0, 0.5},
+		{"plurality geolocation", Options{Threshold: PluralityThreshold}, hegemony.DefaultTrim, 0},
+		{"explicit", Options{Trim: 0.25, Threshold: 0.8}, 0.25, 0.8},
+	}
+	for _, c := range cases {
+		got := c.in.withDefaults()
+		if got.Trim != c.trim || got.Threshold != c.thr {
+			t.Errorf("%s: withDefaults() = trim %v thr %v, want trim %v thr %v",
+				c.name, got.Trim, got.Threshold, c.trim, c.thr)
+		}
+	}
+}
+
+// TestViewIndexMatchesFullScan checks that the VP-indexed Outbound view and
+// the cached country views equal a brute-force scan over every accepted
+// record, and that the cache hands back one canonical slice.
+func TestViewIndexMatchesFullScan(t *testing.T) {
+	p := NewPipeline(smallOpts())
+	for _, c := range p.DS.CountriesWithPrefixes() {
+		for _, kind := range []ViewKind{National, International, Outbound} {
+			got := p.ViewRecords(kind, c)
+			if got == nil {
+				t.Fatalf("%s/%s: country view must not be nil", kind, c)
+			}
+			want := []int32{}
+			for i := 0; i < p.DS.Len(); i++ {
+				vpIdx, pfxIdx, _ := p.DS.Record(i)
+				vc := p.DS.VPCountry[vpIdx]
+				in := false
+				switch kind {
+				case National:
+					in = p.DS.PrefixCountry[pfxIdx] == c && vc == c
+				case International:
+					in = p.DS.PrefixCountry[pfxIdx] == c && vc != "" && vc != c
+				case Outbound:
+					in = vc == c && p.DS.PrefixCountry[pfxIdx] != c
+				}
+				if in {
+					want = append(want, int32(i))
+				}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/%s: indexed view (%d recs) != full scan (%d recs)",
+					kind, c, len(got), len(want))
+			}
+			again := p.ViewRecords(kind, c)
+			if len(got) > 0 && &got[0] != &again[0] {
+				t.Fatalf("%s/%s: cache returned a different slice on the second call", kind, c)
+			}
+		}
+	}
+}

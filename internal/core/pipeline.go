@@ -9,6 +9,8 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"slices"
+	"sync"
 
 	"countryrank/internal/asn"
 	"countryrank/internal/bgp"
@@ -19,11 +21,26 @@ import (
 	"countryrank/internal/hegemony"
 	"countryrank/internal/ihr"
 	"countryrank/internal/ndcg"
+	"countryrank/internal/par"
 	"countryrank/internal/rank"
 	"countryrank/internal/relation"
 	"countryrank/internal/routing"
 	"countryrank/internal/sanitize"
 	"countryrank/internal/topology"
+)
+
+// Sentinels for the Options fields whose useful ablation value collides
+// with the zero value. The zero value of Options must keep reproducing the
+// paper's defaults, so "explicitly zero" needs its own spelling: any
+// negative value works, these constants are the documented ones.
+const (
+	// NoTrim disables hegemony/CTI trimming (the trim-0 ablation of
+	// DESIGN.md). Options.Trim == 0 still means "paper default" (10%).
+	NoTrim = -1.0
+	// PluralityThreshold drops the prefix-geolocation majority requirement:
+	// any plurality country wins. Options.Threshold == 0 still means the
+	// paper's 50% majority.
+	PluralityThreshold = -1.0
 )
 
 // Options configures a pipeline run. The zero value reproduces the paper's
@@ -36,9 +53,12 @@ type Options struct {
 	VPScale   float64
 	// IPv6 builds a dual-stack world (see topology.Config.IPv6).
 	IPv6 bool
-	// Threshold is the prefix-geolocation majority threshold (default 0.5).
+	// Threshold is the prefix-geolocation majority threshold. Zero selects
+	// the paper's 0.5; PluralityThreshold (or any negative value) selects
+	// an actual 0 threshold.
 	Threshold float64
-	// Trim is the per-side trim fraction for AH and CTI (default 0.10).
+	// Trim is the per-side trim fraction for AH and CTI. Zero selects the
+	// paper's 0.10; NoTrim (or any negative value) disables trimming.
 	Trim float64
 	// InferRelationships switches the cone metrics from generator ground
 	// truth to paths-inferred relationships (the ablation of DESIGN.md).
@@ -48,11 +68,17 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.Threshold == 0 {
+	switch {
+	case o.Threshold == 0:
 		o.Threshold = 0.5
+	case o.Threshold < 0:
+		o.Threshold = 0
 	}
-	if o.Trim == 0 {
+	switch {
+	case o.Trim == 0:
 		o.Trim = hegemony.DefaultTrim
+	case o.Trim < 0:
+		o.Trim = 0
 	}
 	return o
 }
@@ -72,6 +98,47 @@ type Pipeline struct {
 	// byPrefixCountry indexes accepted-record positions by the destination
 	// prefix's country, the common slicing key of all views.
 	byPrefixCountry map[countries.Code][]int32
+	// byVP indexes accepted-record positions by vantage point (ascending),
+	// and vpsByCountry groups located VP indexes by country; together they
+	// serve the Outbound view and VP-subset filtering without scanning the
+	// full dataset.
+	byVP         [][]int32
+	vpsByCountry map[countries.Code][]int32
+	// coneStarts / ctiDepths hold each record's precomputed chain
+	// resolution against Rels (view-independent), so per-trial kernel runs
+	// skip the relationship oracle entirely.
+	coneStarts []int32
+	ctiDepths  []int32
+
+	// viewCache memoizes ViewRecords per (kind, country): the experiment
+	// fan-out recomputes the same views for hundreds of trials. Guarded by
+	// viewMu because experiment loops run across a worker pool.
+	viewMu    sync.RWMutex
+	viewCache map[viewKey][]int32
+
+	// rankCache memoizes the full-view baseline ranking per (metric,
+	// country): every Stability call compares its trials against the same
+	// seed-independent full ranking, so recomputing it per call would
+	// dwarf the trials themselves. Cached rankings are shared; callers
+	// must treat them as immutable.
+	rankMu    sync.RWMutex
+	rankCache map[rankKey]*rank.Ranking
+
+	// inViewPool recycles Stability's per-call view-membership buffers
+	// (kept all-false between uses; see Stability).
+	inViewPool sync.Pool
+}
+
+// viewKey identifies one cached country view.
+type viewKey struct {
+	kind    ViewKind
+	country countries.Code
+}
+
+// rankKey identifies one cached full-view ranking.
+type rankKey struct {
+	m       Metric
+	country countries.Code
 }
 
 // NewPipeline builds the synthetic world for the options and processes it.
@@ -114,6 +181,9 @@ func process(w *topology.World, col *routing.Collection, opt Options) *Pipeline 
 		Geo:             geoTable,
 		Rels:            w.Graph,
 		byPrefixCountry: map[countries.Code][]int32{},
+		vpsByCountry:    map[countries.Code][]int32{},
+		viewCache:       map[viewKey][]int32{},
+		rankCache:       map[rankKey]*rank.Ranking{},
 	}
 	if opt.InferRelationships {
 		seen := map[string]bool{}
@@ -129,11 +199,20 @@ func process(w *topology.World, col *routing.Collection, opt Options) *Pipeline 
 		p.Inferred = relation.Infer(paths, relation.InferClique(paths, 25))
 		p.Rels = p.Inferred
 	}
+	p.byVP = make([][]int32, len(ds.VPCountry))
 	for i := 0; i < ds.Len(); i++ {
-		_, pfxIdx, _ := ds.Record(i)
+		vpIdx, pfxIdx, _ := ds.Record(i)
 		c := ds.PrefixCountry[pfxIdx]
 		p.byPrefixCountry[c] = append(p.byPrefixCountry[c], int32(i))
+		p.byVP[vpIdx] = append(p.byVP[vpIdx], int32(i))
 	}
+	for v, c := range ds.VPCountry {
+		if c != "" {
+			p.vpsByCountry[c] = append(p.vpsByCountry[c], int32(v))
+		}
+	}
+	p.coneStarts = cone.Starts(ds, p.Rels)
+	p.ctiDepths = cti.Depths(ds, p.Rels)
 	return p
 }
 
@@ -167,25 +246,49 @@ func (v ViewKind) String() string {
 }
 
 // ViewRecords returns the accepted-record positions of the (kind, country)
-// view. The country is ignored for Global. The result aliases internal
-// state for country views; callers must not mutate it.
+// view. The country is ignored for Global. Results are cached per
+// (kind, country) and alias internal state; callers must not mutate them.
+// Safe for concurrent use.
 func (p *Pipeline) ViewRecords(kind ViewKind, country countries.Code) []int32 {
 	if kind == Global {
 		return nil // nil means "all accepted records" to the metric packages
 	}
+	k := viewKey{kind, country}
+	p.viewMu.RLock()
+	out, ok := p.viewCache[k]
+	p.viewMu.RUnlock()
+	if ok {
+		return out
+	}
+	out = p.computeView(kind, country)
+	p.viewMu.Lock()
+	if prior, ok := p.viewCache[k]; ok {
+		out = prior // another worker won the race; keep one canonical slice
+	} else {
+		p.viewCache[k] = out
+	}
+	p.viewMu.Unlock()
+	return out
+}
+
+func (p *Pipeline) computeView(kind ViewKind, country countries.Code) []int32 {
 	// Country views are never nil, even when empty: the metric packages
 	// treat nil as "every record", which would silently turn a
 	// no-in-country-VP national view into a global computation.
 	out := []int32{}
 	if kind == Outbound {
-		// In-country VPs toward everyone else's prefixes: scan the full
-		// accepted set (the prefix-country index cannot serve this view).
-		for i := 0; i < p.DS.Len(); i++ {
-			vpIdx, pfxIdx, _ := p.DS.Record(i)
-			if p.DS.VPCountry[vpIdx] == country && p.DS.PrefixCountry[pfxIdx] != country {
-				out = append(out, int32(i))
+		// In-country VPs toward everyone else's prefixes, served by the
+		// VP index (the prefix-country index cannot serve this view);
+		// sorted back to record order, the order a full scan would give.
+		for _, vpIdx := range p.vpsByCountry[country] {
+			for _, i := range p.byVP[vpIdx] {
+				_, pfxIdx, _ := p.DS.Record(int(i))
+				if p.DS.PrefixCountry[pfxIdx] != country {
+					out = append(out, i)
+				}
 			}
 		}
+		slices.Sort(out)
 		return out
 	}
 	for _, i := range p.byPrefixCountry[country] {
@@ -205,23 +308,21 @@ func (p *Pipeline) ViewRecords(kind ViewKind, country countries.Code) []int32 {
 	return out
 }
 
-// filterByVPs keeps only records whose VP is in keep. The result is never
-// nil (see ViewRecords).
-func filterByVPs(ds *sanitize.Dataset, recs []int32, keep map[int32]bool) []int32 {
+// recordsInView collects, via the VP index, the records of the given VPs
+// that belong to the view marked in inView (nil means every record). The result is grouped by VP
+// with each VP's records in ascending record order — not globally sorted:
+// every metric kernel either buckets by VP (preserving within-VP order,
+// which is what their bit-identity proofs rely on) or accumulates
+// order-free sums, so the global interleaving is irrelevant and the sort
+// would only burn time in the per-trial hot path. Never nil (see
+// computeView).
+func (p *Pipeline) recordsInView(inView []bool, vps []int32) []int32 {
 	out := []int32{}
-	visit := func(i int32) {
-		vpIdx, _, _ := ds.Record(int(i))
-		if keep[vpIdx] {
-			out = append(out, i)
-		}
-	}
-	if recs == nil {
-		for i := 0; i < ds.Len(); i++ {
-			visit(int32(i))
-		}
-	} else {
-		for _, i := range recs {
-			visit(i)
+	for _, vpIdx := range vps {
+		for _, i := range p.byVP[vpIdx] {
+			if inView == nil || inView[i] {
+				out = append(out, i)
+			}
 		}
 	}
 	return out
@@ -265,10 +366,15 @@ func (p *Pipeline) Country(c countries.Code) *CountryRankings {
 	natl := p.ViewRecords(National, c)
 	info := p.Info()
 
-	coneI := cone.Compute(p.DS, intl, p.Rels)
-	coneN := cone.Compute(p.DS, natl, p.Rels)
-	ahI := hegemony.Compute(p.DS, intl, p.Opt.Trim)
-	ahN := hegemony.Compute(p.DS, natl, p.Opt.Trim)
+	// The four metrics are independent; fan them out.
+	var coneI, coneN cone.Scores
+	var ahI, ahN hegemony.Scores
+	par.Do(
+		func() { coneI = cone.ComputeFrom(p.DS, intl, p.Rels, p.coneStarts) },
+		func() { coneN = cone.ComputeFrom(p.DS, natl, p.Rels, p.coneStarts) },
+		func() { ahI = hegemony.Compute(p.DS, intl, p.Opt.Trim) },
+		func() { ahN = hegemony.Compute(p.DS, natl, p.Opt.Trim) },
+	)
 
 	return &CountryRankings{
 		Country:      c,
@@ -285,7 +391,7 @@ func (p *Pipeline) Country(c countries.Code) *CountryRankings {
 // global hegemony (AHG, IHR's metric) over all accepted records.
 func (p *Pipeline) Global() (ccg, ahg *rank.Ranking) {
 	info := p.Info()
-	cs := cone.Compute(p.DS, nil, p.Rels)
+	cs := cone.ComputeFrom(p.DS, nil, p.Rels, p.coneStarts)
 	hs := hegemony.Compute(p.DS, nil, p.Opt.Trim)
 	return rank.New(string(CCG), cs.Shares(), info, true),
 		rank.New(string(AHG), hs.Hegemony, info, true)
@@ -305,7 +411,7 @@ type OutboundRankings struct {
 func (p *Pipeline) Outbound(c countries.Code) *OutboundRankings {
 	recs := p.ViewRecords(Outbound, c)
 	info := p.Info()
-	cs := cone.Compute(p.DS, recs, p.Rels)
+	cs := cone.ComputeFrom(p.DS, recs, p.Rels, p.coneStarts)
 	hs := hegemony.Compute(p.DS, recs, p.Opt.Trim)
 	return &OutboundRankings{
 		Country: c,
@@ -324,7 +430,7 @@ func (p *Pipeline) AHC(c countries.Code) *rank.Ranking {
 // international view.
 func (p *Pipeline) CTI(c countries.Code) *rank.Ranking {
 	recs := p.ViewRecords(International, c)
-	s := cti.Compute(p.DS, recs, p.Rels, p.Opt.Trim)
+	s := cti.ComputeFrom(p.DS, recs, p.Rels, p.ctiDepths, p.Opt.Trim)
 	return rank.New(string(CTI)+" "+string(c), s.CTI, p.Info(), true)
 }
 
@@ -333,11 +439,85 @@ func (p *Pipeline) CTI(c countries.Code) *rank.Ranking {
 func (p *Pipeline) rankFor(m Metric, recs []int32) *rank.Ranking {
 	switch m {
 	case CCI, CCN, CCG:
-		return rank.New(string(m), cone.Compute(p.DS, recs, p.Rels).Shares(), nil, true)
+		return rank.New(string(m), cone.ComputeAddresses(p.DS, recs, p.Rels, p.coneStarts).Shares(), nil, true)
 	case AHI, AHN, AHG:
 		return rank.New(string(m), hegemony.Compute(p.DS, recs, p.Opt.Trim).Hegemony, nil, true)
 	}
 	panic(fmt.Sprintf("core: metric %q has no subset form", m))
+}
+
+// sampleTop computes a trial's top-k ASNs without building a full Ranking:
+// the stability loop only consumes the top list, so sorting and indexing
+// the whole sample would be wasted. Cone trials select on raw address
+// weights — the exact uint64 values whose shares rank.New would sort by —
+// keeping the selection deterministic.
+func (p *Pipeline) sampleTop(m Metric, recs []int32, k int) []asn.ASN {
+	switch m {
+	case CCI, CCN, CCG:
+		return topK(cone.ComputeAddresses(p.DS, recs, p.Rels, p.coneStarts).Addresses, k)
+	case AHI, AHN, AHG:
+		return topK(hegemony.Compute(p.DS, recs, p.Opt.Trim).Hegemony, k)
+	}
+	panic(fmt.Sprintf("core: metric %q has no subset form", m))
+}
+
+// topK selects the k highest-valued ASes (descending value, ascending ASN
+// ties, zeros dropped — rank.New's ordering) by insertion into a small
+// sorted window.
+func topK[V interface{ ~uint64 | ~float64 }](values map[asn.ASN]V, k int) []asn.ASN {
+	type ent struct {
+		a asn.ASN
+		v V
+	}
+	ranksBefore := func(x, y ent) bool {
+		if x.v != y.v {
+			return x.v > y.v
+		}
+		return x.a < y.a
+	}
+	best := make([]ent, 0, k)
+	for a, v := range values {
+		if v == 0 {
+			continue
+		}
+		e := ent{a, v}
+		if len(best) < k {
+			best = append(best, e)
+		} else if ranksBefore(e, best[len(best)-1]) {
+			best[len(best)-1] = e
+		} else {
+			continue
+		}
+		for i := len(best) - 1; i > 0 && ranksBefore(best[i], best[i-1]); i-- {
+			best[i], best[i-1] = best[i-1], best[i]
+		}
+	}
+	out := make([]asn.ASN, len(best))
+	for i, e := range best {
+		out[i] = e.a
+	}
+	return out
+}
+
+// fullRankFor returns the memoized full-view ranking for (m, c). Safe for
+// concurrent use; the result must not be mutated.
+func (p *Pipeline) fullRankFor(m Metric, c countries.Code, full []int32) *rank.Ranking {
+	k := rankKey{m, c}
+	p.rankMu.RLock()
+	r, ok := p.rankCache[k]
+	p.rankMu.RUnlock()
+	if ok {
+		return r
+	}
+	r = p.rankFor(m, full)
+	p.rankMu.Lock()
+	if prior, ok := p.rankCache[k]; ok {
+		r = prior // keep one canonical ranking per key
+	} else {
+		p.rankCache[k] = r
+	}
+	p.rankMu.Unlock()
+	return r
 }
 
 // viewKindOf maps a country metric to its view.
@@ -366,43 +546,97 @@ type StabilityPoint struct {
 // VPs are removed (§4): for each requested sample size it draws trials
 // random VP subsets, recomputes the metric, and averages NDCG (plus the
 // Kendall-tau and Jaccard ablation measures) against the full-view ranking.
+//
+// Trials fan out across a bounded worker pool. Each (size, trial) cell
+// draws its VP subset from its own sub-seed derived from seed, and the
+// per-size means sum in trial order, so the output depends only on seed —
+// never on scheduling.
 func (p *Pipeline) Stability(m Metric, c countries.Code, sizes []int, trials int, seed int64) []StabilityPoint {
 	kind := viewKindOf(m)
 	full := p.ViewRecords(kind, c)
-	fullRank := p.rankFor(m, full)
+	fullRank := p.fullRankFor(m, c, full)
 	fullVals := fullRank.Values()
 	fullOrder := fullRank.TopASNs(ndcg.DefaultK)
 
-	// The view's VP population.
+	// Mark the view for recordsInView; a nil marker means every record.
+	// The buffer is pooled and kept all-false between uses, so marking
+	// costs O(view), not O(dataset), per call.
+	var inView []bool
+	if full != nil {
+		buf := p.inViewPool.Get()
+		if buf == nil || cap(buf.([]bool)) < p.DS.Len() {
+			inView = make([]bool, p.DS.Len())
+		} else {
+			inView = buf.([]bool)[:p.DS.Len()]
+		}
+		for _, i := range full {
+			inView[i] = true
+		}
+		defer func() {
+			for _, i := range full {
+				inView[i] = false
+			}
+			p.inViewPool.Put(inView) //nolint:staticcheck // slice header boxing is fine here
+		}()
+	}
+
+	// The view's VP population, in first-appearance order.
 	var vps []int32
-	seen := map[int32]bool{}
-	for _, i := range full {
+	seen := make([]bool, len(p.DS.VPCountry))
+	collect := func(i int32) {
 		vpIdx, _, _ := p.DS.Record(int(i))
 		if !seen[vpIdx] {
 			seen[vpIdx] = true
 			vps = append(vps, vpIdx)
 		}
 	}
-
-	rng := rand.New(rand.NewSource(seed))
-	var out []StabilityPoint
-	for _, n := range sizes {
-		if n <= 0 || n > len(vps) {
-			continue
+	if full == nil {
+		for i := 0; i < p.DS.Len(); i++ {
+			collect(int32(i))
 		}
+	} else {
+		for _, i := range full {
+			collect(i)
+		}
+	}
+
+	var valid []int
+	for _, n := range sizes {
+		if n > 0 && n <= len(vps) {
+			valid = append(valid, n)
+		}
+	}
+
+	type cell struct{ ndcgV, tau, jac float64 }
+	results := make([][]cell, len(valid))
+	for si := range results {
+		results[si] = make([]cell, trials)
+	}
+	par.ForEach(len(valid)*trials, func(job int) {
+		si, trial := job/trials, job%trials
+		n := valid[si]
+		rng := rand.New(rand.NewSource(subSeed(seed, si, trial)))
+		perm := rng.Perm(len(vps))
+		keep := make([]int32, n)
+		for k, j := range perm[:n] {
+			keep[k] = vps[j]
+		}
+		recs := p.recordsInView(inView, keep)
+		top := p.sampleTop(m, recs, ndcg.DefaultK)
+		results[si][trial] = cell{
+			ndcgV: ndcg.NDCG(top, fullVals, fullOrder, ndcg.DefaultK),
+			tau:   ndcg.KendallTau(top, fullOrder, ndcg.DefaultK),
+			jac:   ndcg.Jaccard(top, fullOrder, ndcg.DefaultK),
+		}
+	})
+
+	var out []StabilityPoint
+	for si, n := range valid {
 		var sumNDCG, sumTau, sumJac float64
-		for trial := 0; trial < trials; trial++ {
-			perm := rng.Perm(len(vps))
-			keep := map[int32]bool{}
-			for _, j := range perm[:n] {
-				keep[vps[j]] = true
-			}
-			recs := filterByVPs(p.DS, full, keep)
-			sample := p.rankFor(m, recs)
-			top := sample.TopASNs(ndcg.DefaultK)
-			sumNDCG += ndcg.NDCG(top, fullVals, fullOrder, ndcg.DefaultK)
-			sumTau += ndcg.KendallTau(top, fullOrder, ndcg.DefaultK)
-			sumJac += ndcg.Jaccard(top, fullOrder, ndcg.DefaultK)
+		for _, r := range results[si] {
+			sumNDCG += r.ndcgV
+			sumTau += r.tau
+			sumJac += r.jac
 		}
 		out = append(out, StabilityPoint{
 			VPs:         n,
@@ -415,13 +649,31 @@ func (p *Pipeline) Stability(m Metric, c countries.Code, sizes []int, trials int
 	return out
 }
 
+// subSeed derives the deterministic RNG seed for one (size, trial) cell
+// from the parent seed via a splitmix64-style mix, so trials are
+// independent of each other and of scheduling order.
+func subSeed(seed int64, sizeIdx, trial int) int64 {
+	x := uint64(seed) ^ 0x9E3779B97F4A7C15
+	x ^= uint64(sizeIdx+1) * 0xBF58476D1CE4E5B9
+	x ^= uint64(trial+1) * 0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}
+
 // ViewVPCount returns how many distinct VPs contribute to a view.
 func (p *Pipeline) ViewVPCount(kind ViewKind, c countries.Code) int {
-	seen := map[int32]bool{}
-	recs := p.ViewRecords(kind, c)
-	for _, i := range recs {
+	seen := make([]bool, len(p.DS.VPCountry))
+	n := 0
+	for _, i := range p.ViewRecords(kind, c) {
 		vpIdx, _, _ := p.DS.Record(int(i))
-		seen[vpIdx] = true
+		if !seen[vpIdx] {
+			seen[vpIdx] = true
+			n++
+		}
 	}
-	return len(seen)
+	return n
 }

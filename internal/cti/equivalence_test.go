@@ -1,0 +1,39 @@
+package cti_test
+
+import (
+	"reflect"
+	"testing"
+
+	"countryrank/internal/core"
+	"countryrank/internal/cti"
+)
+
+// TestDenseMatchesMapReference: the dense kernel processes records grouped
+// by VP but in record order inside each group, so even its float
+// accumulations must match the map-based reference bit for bit.
+func TestDenseMatchesMapReference(t *testing.T) {
+	for _, seed := range []int64{1, 5} {
+		p := core.NewPipeline(core.Options{Seed: seed, StubScale: 0.15, VPScale: 0.2})
+		views := map[string][]int32{
+			"global":  nil,
+			"intl-AU": p.ViewRecords(core.International, "AU"),
+			"intl-JP": p.ViewRecords(core.International, "JP"),
+			"intl-RU": p.ViewRecords(core.International, "RU"),
+			"empty":   p.ViewRecords(core.International, "ZZ"),
+		}
+		for name, recs := range views {
+			for _, trim := range []float64{-1, 0, 0.10} {
+				got := cti.Compute(p.DS, recs, p.Rels, trim)
+				want := cti.ComputeMapRef(p.DS, recs, p.Rels, trim)
+				if got.VPCount != want.VPCount {
+					t.Fatalf("seed %d %s trim %v: VPCount %d != %d",
+						seed, name, trim, got.VPCount, want.VPCount)
+				}
+				if !reflect.DeepEqual(got.CTI, want.CTI) {
+					t.Fatalf("seed %d %s trim %v: dense kernel diverges from map reference (%d vs %d ASes)",
+						seed, name, trim, len(got.CTI), len(want.CTI))
+				}
+			}
+		}
+	}
+}

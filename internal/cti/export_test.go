@@ -1,0 +1,5 @@
+package cti
+
+// ComputeMapRef exposes the retained map-based reference implementation to
+// the equivalence property tests.
+var ComputeMapRef = computeMapRef

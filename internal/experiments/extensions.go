@@ -10,7 +10,6 @@ import (
 	"countryrank/internal/concentration"
 	"countryrank/internal/core"
 	"countryrank/internal/countries"
-	"countryrank/internal/hegemony"
 	"countryrank/internal/relation"
 	"countryrank/internal/routing"
 )
@@ -83,12 +82,12 @@ func RunDependenceMatrix(p *core.Pipeline, targets []countries.Code) DependenceM
 	}
 	m := DependenceMatrix{Targets: targets, Max: map[countries.Code]map[countries.Code]float64{}}
 	info := p.Info()
-	for _, target := range targets {
-		recs := p.ViewRecords(core.International, target)
-		if len(recs) == 0 {
+	scores := ahiByTarget(p, targets)
+	for ti, target := range targets {
+		hs := scores[ti]
+		if hs.Hegemony == nil {
 			continue
 		}
-		hs := hegemony.Compute(p.DS, recs, p.Opt.Trim)
 		row := map[countries.Code]float64{}
 		for a, v := range hs.Hegemony {
 			reg := info(a).Country

@@ -9,7 +9,24 @@ import (
 	"countryrank/internal/core"
 	"countryrank/internal/countries"
 	"countryrank/internal/hegemony"
+	"countryrank/internal/par"
 )
+
+// ahiByTarget computes each target country's international-view hegemony
+// across a bounded worker pool. Entry i is the zero Scores (nil map) when
+// target i has no international records. Callers merge the results
+// sequentially in target order, keeping output deterministic.
+func ahiByTarget(p *core.Pipeline, targets []countries.Code) []hegemony.Scores {
+	out := make([]hegemony.Scores, len(targets))
+	par.ForEach(len(targets), func(i int) {
+		recs := p.ViewRecords(core.International, targets[i])
+		if len(recs) == 0 {
+			return
+		}
+		out[i] = hegemony.Compute(p.DS, recs, p.Opt.Trim)
+	})
+	return out
+}
 
 // AHIThreshold is Table 12's bar for "serves a country".
 const AHIThreshold = 0.1
@@ -50,12 +67,12 @@ func RunTable12(p *core.Pipeline) Table12 {
 	info := p.Info()
 
 	targets := p.DS.CountriesWithPrefixes()
-	for _, target := range targets {
-		recs := p.ViewRecords(core.International, target)
-		if len(recs) == 0 {
+	scores := ahiByTarget(p, targets)
+	for ti, target := range targets {
+		hs := scores[ti]
+		if hs.Hegemony == nil {
 			continue
 		}
-		hs := hegemony.Compute(p.DS, recs, p.Opt.Trim)
 		for a, v := range hs.Hegemony {
 			if v <= AHIThreshold {
 				continue
@@ -167,12 +184,12 @@ func RunFigure7(p *core.Pipeline) Figure7 {
 	f := Figure7{MaxRussianAHI: map[countries.Code]float64{}}
 	info := p.Info()
 	targets := append(countries.FormerSovietBloc(), "RU")
-	for _, target := range targets {
-		recs := p.ViewRecords(core.International, target)
-		if len(recs) == 0 {
+	scores := ahiByTarget(p, targets)
+	for ti, target := range targets {
+		hs := scores[ti]
+		if hs.Hegemony == nil {
 			continue
 		}
-		hs := hegemony.Compute(p.DS, recs, p.Opt.Trim)
 		best := 0.0
 		for a, v := range hs.Hegemony {
 			if info(a).Country == "RU" && v > best {

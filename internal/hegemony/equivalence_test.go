@@ -1,0 +1,40 @@
+package hegemony_test
+
+import (
+	"reflect"
+	"testing"
+
+	"countryrank/internal/core"
+	"countryrank/internal/hegemony"
+)
+
+// TestDenseMatchesMapReference is the tentpole equivalence property: over
+// several generated worlds, views, and trim settings, the dense-id kernel
+// must produce byte-identical Scores to the retained map-based reference.
+func TestDenseMatchesMapReference(t *testing.T) {
+	for _, seed := range []int64{1, 5} {
+		p := core.NewPipeline(core.Options{Seed: seed, StubScale: 0.15, VPScale: 0.2})
+		views := map[string][]int32{
+			"global":          nil,
+			"intl-AU":         p.ViewRecords(core.International, "AU"),
+			"intl-RU":         p.ViewRecords(core.International, "RU"),
+			"natl-AU":         p.ViewRecords(core.National, "AU"),
+			"outbound-JP":     p.ViewRecords(core.Outbound, "JP"),
+			"empty-natl-none": p.ViewRecords(core.National, "ZZ"),
+		}
+		for name, recs := range views {
+			for _, trim := range []float64{-1, 0, 0.10, 0.25} {
+				got := hegemony.Compute(p.DS, recs, trim)
+				want := hegemony.ComputeMapRef(p.DS, recs, trim)
+				if got.VPCount != want.VPCount {
+					t.Fatalf("seed %d %s trim %v: VPCount %d != %d",
+						seed, name, trim, got.VPCount, want.VPCount)
+				}
+				if !reflect.DeepEqual(got.Hegemony, want.Hegemony) {
+					t.Fatalf("seed %d %s trim %v: dense kernel diverges from map reference (%d vs %d ASes)",
+						seed, name, trim, len(got.Hegemony), len(want.Hegemony))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,5 @@
+package ihr
+
+// ComputeMapRef exposes the retained map-based reference implementation to
+// the equivalence property tests.
+var ComputeMapRef = computeMapRef

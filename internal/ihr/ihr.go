@@ -8,9 +8,12 @@
 package ihr
 
 import (
+	"sort"
+
 	"countryrank/internal/asn"
 	"countryrank/internal/countries"
 	"countryrank/internal/hegemony"
+	"countryrank/internal/par"
 	"countryrank/internal/sanitize"
 	"countryrank/internal/topology"
 )
@@ -45,19 +48,25 @@ func Compute(ds *sanitize.Dataset, g *topology.Graph, country countries.Code, tr
 	return ComputeWeighted(ds, g, country, trim, ByASCount)
 }
 
-// ComputeWeighted calculates AHC with the chosen origin weighting.
-func ComputeWeighted(ds *sanitize.Dataset, g *topology.Graph, country countries.Code, trim float64, weighting Weighting) Scores {
-	// Group accepted records by origin AS.
+// originGroup is one qualifying origin AS's record subset and weight.
+type originGroup struct {
+	origin asn.ASN
+	recs   []int32
+	w      float64
+}
+
+// groupQualifyingOrigins buckets the accepted records by origin AS, keeps
+// the origins registered in country (with a positive weight under the
+// chosen weighting), and returns the groups in ascending origin order so
+// every later float accumulation has a fixed order.
+func groupQualifyingOrigins(ds *sanitize.Dataset, g *topology.Graph, country countries.Code, weighting Weighting) []originGroup {
 	byOrigin := map[asn.ASN][]int32{}
 	for i := 0; i < ds.Len(); i++ {
 		_, pfxIdx, _ := ds.Record(i)
 		o := ds.Col.Origin[pfxIdx]
 		byOrigin[o] = append(byOrigin[o], int32(i))
 	}
-
-	sum := map[asn.ASN]float64{}
-	origins := 0
-	var totalWeight float64
+	var groups []originGroup
 	for o, recs := range byOrigin {
 		node, ok := g.ByASN(o)
 		if !ok || node.Registered != country {
@@ -70,14 +79,69 @@ func ComputeWeighted(ds *sanitize.Dataset, g *topology.Graph, country countries.
 				continue
 			}
 		}
-		origins++
-		totalWeight += w
-		hs := hegemony.Compute(ds, recs, trim)
-		for a, v := range hs.Hegemony {
-			sum[a] += w * v
+		groups = append(groups, originGroup{o, recs, w})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].origin < groups[j].origin })
+	return groups
+}
+
+// ComputeWeighted calculates AHC with the chosen origin weighting. The
+// per-origin hegemony computations fan out over a bounded worker pool and
+// merge into a flat dense-id accumulator in ascending origin order, so the
+// result is deterministic and bit-identical to the retained sequential
+// map-based reference (computeMapRef).
+func ComputeWeighted(ds *sanitize.Dataset, g *topology.Graph, country countries.Code, trim float64, weighting Weighting) Scores {
+	groups := groupQualifyingOrigins(ds, g, country, weighting)
+	perOrigin := make([]hegemony.Scores, len(groups))
+	par.ForEach(len(groups), func(i int) {
+		perOrigin[i] = hegemony.Compute(ds, groups[i].recs, trim)
+	})
+
+	sum := make([]float64, ds.NumAS())
+	scored := make([]bool, ds.NumAS())
+	var totalWeight float64
+	for i, grp := range groups {
+		totalWeight += grp.w
+		for a, v := range perOrigin[i].Hegemony {
+			id := ds.IDOf[a]
+			sum[id] += grp.w * v
+			scored[id] = true
 		}
 	}
-	s := Scores{AHC: make(map[asn.ASN]float64, len(sum)), Origins: origins}
+	nScored := 0
+	for id := range scored {
+		if scored[id] {
+			nScored++
+		}
+	}
+	s := Scores{AHC: make(map[asn.ASN]float64, nScored), Origins: len(groups)}
+	if totalWeight == 0 {
+		return s
+	}
+	for id, ok := range scored {
+		if ok {
+			s.AHC[ds.ASNOf[id]] = sum[id] / totalWeight
+		}
+	}
+	return s
+}
+
+// computeMapRef is the original sequential map-based implementation,
+// retained as the executable specification ComputeWeighted is
+// property-tested against. Origins merge in ascending order, the same
+// fixed float-accumulation order the parallel version uses.
+func computeMapRef(ds *sanitize.Dataset, g *topology.Graph, country countries.Code, trim float64, weighting Weighting) Scores {
+	groups := groupQualifyingOrigins(ds, g, country, weighting)
+	sum := map[asn.ASN]float64{}
+	var totalWeight float64
+	for _, grp := range groups {
+		totalWeight += grp.w
+		hs := hegemony.Compute(ds, grp.recs, trim)
+		for a, v := range hs.Hegemony {
+			sum[a] += grp.w * v
+		}
+	}
+	s := Scores{AHC: make(map[asn.ASN]float64, len(sum)), Origins: len(groups)}
 	if totalWeight == 0 {
 		return s
 	}

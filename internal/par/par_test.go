@@ -1,0 +1,26 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEachIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1000} {
+		hits := make([]atomic.Int32, n)
+		ForEach(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c atomic.Bool
+	Do(func() { a.Store(true) }, func() { b.Store(true) }, func() { c.Store(true) })
+	if !a.Load() || !b.Load() || !c.Load() {
+		t.Fatal("Do returned before all funcs ran")
+	}
+}

@@ -3,8 +3,9 @@
 package rank
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"countryrank/internal/asn"
@@ -39,7 +40,8 @@ type Ranking struct {
 // New builds a ranking from metric values. ASes with zero value are kept
 // (they may matter for NDCG padding) unless dropZero is set.
 func New(metric string, values map[asn.ASN]float64, info InfoFunc, dropZero bool) *Ranking {
-	r := &Ranking{Metric: metric, byASN: map[asn.ASN]int{}}
+	r := &Ranking{Metric: metric}
+	r.Entries = make([]Entry, 0, len(values))
 	for a, v := range values {
 		if dropZero && v == 0 {
 			continue
@@ -50,12 +52,16 @@ func New(metric string, values map[asn.ASN]float64, info InfoFunc, dropZero bool
 		}
 		r.Entries = append(r.Entries, e)
 	}
-	sort.Slice(r.Entries, func(i, j int) bool {
-		if r.Entries[i].Value != r.Entries[j].Value {
-			return r.Entries[i].Value > r.Entries[j].Value
+	slices.SortFunc(r.Entries, func(a, b Entry) int {
+		if a.Value != b.Value {
+			if a.Value > b.Value {
+				return -1
+			}
+			return 1
 		}
-		return r.Entries[i].ASN < r.Entries[j].ASN
+		return cmp.Compare(a.ASN, b.ASN)
 	})
+	r.byASN = make(map[asn.ASN]int, len(r.Entries))
 	for i := range r.Entries {
 		r.Entries[i].Rank = i + 1
 		r.byASN[r.Entries[i].ASN] = i

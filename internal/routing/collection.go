@@ -149,7 +149,7 @@ func BuildCollection(w *topology.World, opt BuildOptions) *Collection {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			st := newPropState(g.NumASes())
+			st := newPropState(g)
 			for {
 				origin := atomic.AddInt32(&next, 1) - 1
 				if origin >= int32(g.NumASes()) {

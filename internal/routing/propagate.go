@@ -31,13 +31,18 @@ type propState struct {
 	class  []uint8
 	dist   []int32
 	parent []int32
+	// asns caches g.ASNs() so the tie-break hot path (better, sortByASN)
+	// does not re-fetch the slice per comparison.
+	asns []asn.ASN
 }
 
-func newPropState(n int) *propState {
+func newPropState(g *topology.Graph) *propState {
+	n := g.NumASes()
 	return &propState{
 		class:  make([]uint8, n),
 		dist:   make([]int32, n),
 		parent: make([]int32, n),
+		asns:   g.ASNs(),
 	}
 }
 
@@ -63,7 +68,7 @@ func better(g *topology.Graph, s *propState, v int32, d int32, n int32) bool {
 	if cur < 0 {
 		return true
 	}
-	asns := g.ASNs()
+	asns := s.asns
 	hn, hc := tieHash(asns[v], asns[n]), tieHash(asns[v], asns[cur])
 	if hn != hc {
 		return hn < hc
@@ -93,7 +98,7 @@ func propagate(g *topology.Graph, origin int32, s *propState) {
 	// Phase 1: customer routes climb provider links, breadth-first.
 	cur := []int32{origin}
 	for len(cur) > 0 {
-		sortByASN(g, cur)
+		sortByASN(s.asns, cur)
 		var next []int32
 		for _, u := range cur {
 			du := s.dist[u]
@@ -163,7 +168,7 @@ func propagate(g *topology.Graph, origin int32, s *propState) {
 	}
 	for d := int32(0); d < int32(len(buckets)); d++ {
 		bucket := buckets[d]
-		sortByASN(g, bucket)
+		sortByASN(s.asns, bucket)
 		for _, u := range bucket {
 			if s.dist[u] != d {
 				continue // re-bucketed at a smaller distance already
@@ -197,8 +202,7 @@ func appendBucket(buckets *[][]int32, d int32, v int32) {
 	(*buckets)[d] = append((*buckets)[d], v)
 }
 
-func sortByASN(g *topology.Graph, nodes []int32) {
-	asns := g.ASNs()
+func sortByASN(asns []asn.ASN, nodes []int32) {
 	sort.Slice(nodes, func(i, j int) bool {
 		return asns[nodes[i]] < asns[nodes[j]]
 	})

@@ -50,7 +50,7 @@ func pathAt(t *testing.T, g *topology.Graph, st *propState, a asn.ASN) bgp.Path 
 
 func TestFigure1Paths(t *testing.T) {
 	g := figure1Graph(t)
-	st := newPropState(g.NumASes())
+	st := newPropState(g)
 	origin, _ := g.Index(50) // E announces
 	propagate(g, origin, st)
 
@@ -99,7 +99,7 @@ func TestPreferCustomerOverPeerOverProvider(t *testing.T) {
 	if err := g.AddP2C(3, 4); err != nil {
 		t.Fatal(err)
 	}
-	st := newPropState(g.NumASes())
+	st := newPropState(g)
 	origin, _ := g.Index(4)
 	propagate(g, origin, st)
 	if got := pathAt(t, g, st, 1); !got.Equal(bgp.Path{1, 2, 4}) {
@@ -116,7 +116,7 @@ func TestPreferCustomerOverPeerOverProvider(t *testing.T) {
 	g2.AddP2C(3, 4)
 	g2.AddP2C(5, 1) // 5 is 1's provider
 	g2.AddP2C(5, 4) // provider route 1 5 4 available
-	st2 := newPropState(g2.NumASes())
+	st2 := newPropState(g2)
 	origin2, _ := g2.Index(4)
 	propagate(g2, origin2, st2)
 	if got := pathAt(t, g2, st2, 1); !got.Equal(bgp.Path{1, 3, 4}) {
@@ -136,7 +136,7 @@ func TestShortestBeatsLonger(t *testing.T) {
 	g.AddP2C(20, 4)
 	g.AddP2C(30, 35)
 	g.AddP2C(35, 4)
-	st := newPropState(g.NumASes())
+	st := newPropState(g)
 	origin, _ := g.Index(4)
 	propagate(g, origin, st)
 	if got := pathAt(t, g, st, 1); !got.Equal(bgp.Path{1, 20, 4}) {
@@ -157,7 +157,7 @@ func TestEqualCostTieBreakDeterministic(t *testing.T) {
 		return g
 	}
 	g := build()
-	st := newPropState(g.NumASes())
+	st := newPropState(g)
 	origin, _ := g.Index(4)
 	propagate(g, origin, st)
 	first := pathAt(t, g, st, 1).Clone()
@@ -167,7 +167,7 @@ func TestEqualCostTieBreakDeterministic(t *testing.T) {
 	// Re-running on a freshly built graph must reproduce the same choice.
 	for i := 0; i < 3; i++ {
 		g2 := build()
-		st2 := newPropState(g2.NumASes())
+		st2 := newPropState(g2)
 		origin2, _ := g2.Index(4)
 		propagate(g2, origin2, st2)
 		if got := pathAt(t, g2, st2, 1); !got.Equal(first) {
@@ -239,7 +239,7 @@ func TestPrependAppearsAndDedups(t *testing.T) {
 	g.MustAddAS(topology.AS{ASN: 1, Class: topology.ClassTransit, Registered: "US"})
 	g.MustAddAS(topology.AS{ASN: 2, Class: topology.ClassStub, Registered: "US", Prepend: 2})
 	g.AddP2C(1, 2)
-	st := newPropState(g.NumASes())
+	st := newPropState(g)
 	origin, _ := g.Index(2)
 	propagate(g, origin, st)
 	got := pathAt(t, g, st, 1)
@@ -259,7 +259,7 @@ func TestRouteServerInPath(t *testing.T) {
 	g.MustAddAS(topology.AS{ASN: 9, Class: topology.ClassStub, Registered: "DE"})
 	g.AddP2P(1, 2, 6695)
 	g.AddP2C(2, 9)
-	st := newPropState(g.NumASes())
+	st := newPropState(g)
 	origin, _ := g.Index(9)
 	propagate(g, origin, st)
 	got := pathAt(t, g, st, 1)
@@ -273,7 +273,7 @@ func TestNoRouteForDisconnected(t *testing.T) {
 	g.MustAddAS(topology.AS{ASN: 1, Class: topology.ClassStub, Registered: "US"})
 	g.MustAddAS(topology.AS{ASN: 2, Class: topology.ClassStub, Registered: "US"})
 	g.Originate(2, netx.MustPrefix("10.0.0.0/24"))
-	st := newPropState(g.NumASes())
+	st := newPropState(g)
 	origin, _ := g.Index(2)
 	propagate(g, origin, st)
 	i1, _ := g.Index(1)

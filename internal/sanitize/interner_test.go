@@ -1,0 +1,59 @@
+package sanitize
+
+import "testing"
+
+// TestInternerInvariants pins the dense-id contract the metric kernels
+// depend on: ids are dense, assigned in first-appearance order, round-trip
+// through ASNOf/IDOf, and PathIDs mirrors CleanPath hop for hop.
+func TestInternerInvariants(t *testing.T) {
+	w, col := smallWorld(t)
+	ds := Run(col, fullConfig(w, col, 0.5))
+	if ds.NumAS() == 0 {
+		t.Fatal("interner saw no ASes")
+	}
+	if len(ds.ASNOf) != len(ds.IDOf) {
+		t.Fatalf("ASNOf has %d entries, IDOf has %d", len(ds.ASNOf), len(ds.IDOf))
+	}
+	for id, a := range ds.ASNOf {
+		if got := ds.IDOf[a]; got != int32(id) {
+			t.Fatalf("IDOf[%v] = %d, want %d", a, got, id)
+		}
+	}
+	if len(ds.PathIDs) != len(ds.CleanPath) {
+		t.Fatalf("PathIDs has %d paths, CleanPath has %d", len(ds.PathIDs), len(ds.CleanPath))
+	}
+	next := int32(0) // first-appearance order: ids never skip ahead
+	for i, p := range ds.CleanPath {
+		ids := ds.PathIDs[i]
+		if len(ids) != len(p) {
+			t.Fatalf("record %d: %d ids for %d hops", i, len(ids), len(p))
+		}
+		for j, hop := range p {
+			id := ids[j]
+			if id < 0 || int(id) >= ds.NumAS() {
+				t.Fatalf("record %d hop %d: id %d out of range [0,%d)", i, j, id, ds.NumAS())
+			}
+			if ds.ASNOf[id] != hop {
+				t.Fatalf("record %d hop %d: id %d maps to %v, want %v", i, j, id, ds.ASNOf[id], hop)
+			}
+			if id > next {
+				t.Fatalf("record %d hop %d: id %d assigned out of first-appearance order (next expected %d)",
+					i, j, id, next)
+			}
+			if id == next {
+				next++
+			}
+		}
+	}
+	if int(next) != ds.NumAS() {
+		t.Fatalf("walked ids up to %d, interner holds %d", next, ds.NumAS())
+	}
+	// RecordIDs must agree with Record.
+	for i := 0; i < ds.Len(); i++ {
+		vp1, pfx1, path := ds.Record(i)
+		vp2, pfx2, ids := ds.RecordIDs(i)
+		if vp1 != vp2 || pfx1 != pfx2 || len(path) != len(ids) {
+			t.Fatalf("record %d: RecordIDs disagrees with Record", i)
+		}
+	}
+}

@@ -120,6 +120,18 @@ type Dataset struct {
 	// Weight[p] is the address weight of prefix p.
 	Weight []uint64
 	Stats  Stats
+
+	// Dense AS-id interner, built once after filtering: every ASN that
+	// appears on a clean path gets a small id in first-appearance order, so
+	// the metric kernels can accumulate into flat slices indexed by id
+	// instead of ASN-keyed maps.
+	//
+	// ASNOf[id] resolves an id back to its ASN; IDOf inverts it.
+	ASNOf []asn.ASN
+	IDOf  map[asn.ASN]int32
+	// PathIDs[i] is CleanPath[i] with every hop resolved to its dense id.
+	// All PathIDs share one backing array; callers must not mutate them.
+	PathIDs [][]int32
 }
 
 // NewDataset wraps a collection directly into a Dataset without filtering:
@@ -142,6 +154,7 @@ func NewDataset(col *routing.Collection, vpCountry, prefixCountry []countries.Co
 		ds.Accepted = append(ds.Accepted, int32(i))
 		ds.CleanPath = append(ds.CleanPath, col.Paths[col.Records[i].Path])
 	}
+	ds.buildInterner()
 	return ds
 }
 
@@ -198,8 +211,39 @@ func Run(col *routing.Collection, cfg Config) *Dataset {
 			ds.CleanPath = append(ds.CleanPath, v.clean)
 		}
 	}
+	ds.buildInterner()
 	return ds
 }
+
+// buildInterner assigns dense ids to every ASN on a clean path and
+// pre-resolves each accepted record's path to ids. Ids are assigned in
+// first-appearance order over the accepted records, so they are
+// deterministic for a fixed collection.
+func (d *Dataset) buildInterner() {
+	total := 0
+	for _, p := range d.CleanPath {
+		total += len(p)
+	}
+	d.IDOf = make(map[asn.ASN]int32)
+	buf := make([]int32, 0, total)
+	d.PathIDs = make([][]int32, len(d.CleanPath))
+	for i, p := range d.CleanPath {
+		start := len(buf)
+		for _, a := range p {
+			id, ok := d.IDOf[a]
+			if !ok {
+				id = int32(len(d.ASNOf))
+				d.IDOf[a] = id
+				d.ASNOf = append(d.ASNOf, a)
+			}
+			buf = append(buf, id)
+		}
+		d.PathIDs[i] = buf[start:len(buf):len(buf)]
+	}
+}
+
+// NumAS returns the number of distinct interned ASNs.
+func (d *Dataset) NumAS() int { return len(d.ASNOf) }
 
 // judgePath applies the path-content filters and cleaning of §3.1.
 func judgePath(p bgp.Path, cfg Config) struct {
@@ -264,6 +308,12 @@ func (d *Dataset) Len() int { return len(d.Accepted) }
 func (d *Dataset) Record(i int) (vpIdx int32, prefixIdx int32, path bgp.Path) {
 	r := d.Col.Records[d.Accepted[i]]
 	return r.VP, r.Prefix, d.CleanPath[i]
+}
+
+// RecordIDs is Record with the path resolved to dense ids.
+func (d *Dataset) RecordIDs(i int) (vpIdx int32, prefixIdx int32, ids []int32) {
+	r := d.Col.Records[d.Accepted[i]]
+	return r.VP, r.Prefix, d.PathIDs[i]
 }
 
 // PrefixOf returns the prefix of accepted record i.

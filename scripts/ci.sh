@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: vet, build, race-enabled tests, and a one-iteration benchmark
+# smoke run so the perf path (dense kernels + parallel stability) is
+# exercised under the race detector's shadow on every change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo '--- go vet'
+go vet ./...
+
+echo '--- go build'
+go build ./...
+
+echo '--- go test -race'
+go test -race ./...
+
+echo '--- bench smoke (Figure4, 1 iteration)'
+go test -run '^$' -bench Figure4 -benchtime 1x .
+
+echo 'CI OK'
