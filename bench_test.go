@@ -5,6 +5,8 @@
 package countryrank
 
 import (
+	"bytes"
+	"io"
 	"net"
 	"net/netip"
 	"sync"
@@ -304,6 +306,100 @@ func BenchmarkAblationBaselines(b *testing.B) {
 			ctipkg.Compute(p.DS, recs, p.Rels, p.Opt.Trim)
 		}
 	})
+}
+
+// --- MRT data-plane benches ---
+
+var (
+	mrtBenchOnce  sync.Once
+	mrtBenchWorld *topology.World
+	mrtBenchCol   *routing.Collection
+	mrtBenchDumps [][]byte // one TABLE_DUMP_V2 stream per collector
+	mrtBenchRecs  int      // records round-tripped per op
+)
+
+func mrtBenchSetup(b *testing.B) {
+	b.Helper()
+	mrtBenchOnce.Do(func() {
+		mrtBenchWorld = topology.Build(topology.Config{Seed: 3, StubScale: 0.3, VPScale: 0.4})
+		mrtBenchCol = routing.BuildCollection(mrtBenchWorld, routing.BuildOptions{
+			LoopFrac: -1, PoisonFrac: -1, UnallocFrac: -1,
+		})
+		for _, coll := range mrtBenchWorld.VPs.Collectors() {
+			var buf bytes.Buffer
+			if err := routing.ExportMRT(&buf, mrtBenchCol, coll.Name, 1617235200); err != nil {
+				panic(err)
+			}
+			mrtBenchDumps = append(mrtBenchDumps, buf.Bytes())
+		}
+		mrtBenchRecs = len(mrtBenchCol.Records)
+	})
+}
+
+func mrtDumpBytes() int64 {
+	var n int64
+	for _, d := range mrtBenchDumps {
+		n += int64(len(d))
+	}
+	return n
+}
+
+// BenchmarkMRTExport measures TABLE_DUMP_V2 serialization of the full
+// collection (every collector), the write half of the MRT data plane.
+func BenchmarkMRTExport(b *testing.B) {
+	mrtBenchSetup(b)
+	b.SetBytes(mrtDumpBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, coll := range mrtBenchWorld.VPs.Collectors() {
+			if err := routing.ExportMRT(io.Discard, mrtBenchCol, coll.Name, 1617235200); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(mrtBenchRecs), "records/op")
+}
+
+// BenchmarkMRTImport measures parsing the per-collector dumps back into a
+// Collection, the read half that feeds every downstream metric.
+func BenchmarkMRTImport(b *testing.B) {
+	mrtBenchSetup(b)
+	b.SetBytes(mrtDumpBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		streams := make([]io.Reader, len(mrtBenchDumps))
+		for j, d := range mrtBenchDumps {
+			streams[j] = bytes.NewReader(d)
+		}
+		if _, err := routing.ImportMRT(mrtBenchWorld, streams); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(mrtBenchRecs), "records/op")
+}
+
+// BenchmarkMRTRoundTrip measures export + import of a simulated collector
+// dump set: the acceptance benchmark for the MRT data plane.
+func BenchmarkMRTRoundTrip(b *testing.B) {
+	mrtBenchSetup(b)
+	b.SetBytes(mrtDumpBytes())
+	b.ReportMetric(float64(mrtBenchRecs), "records/op")
+	bufs := make([]bytes.Buffer, len(mrtBenchDumps))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		streams := make([]io.Reader, len(mrtBenchDumps))
+		for j, coll := range mrtBenchWorld.VPs.Collectors() {
+			bufs[j].Reset()
+			if err := routing.ExportMRT(&bufs[j], mrtBenchCol, coll.Name, 1617235200); err != nil {
+				b.Fatal(err)
+			}
+			streams[j] = &bufs[j]
+		}
+		if _, err := routing.ImportMRT(mrtBenchWorld, streams); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(mrtBenchRecs), "records/op")
 }
 
 // BenchmarkSessionThroughput measures UPDATE throughput over an established

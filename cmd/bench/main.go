@@ -34,6 +34,9 @@ type Result struct {
 	NsPerOp  float64 `json:"ns_per_op"`
 	BPerOp   float64 `json:"bytes_per_op,omitempty"`
 	AllocsOp float64 `json:"allocs_per_op,omitempty"`
+	MBPerS   float64 `json:"mb_per_s,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. records/op).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Snapshot is the file format written to BENCH_<date>.json.
@@ -45,10 +48,50 @@ type Snapshot struct {
 	Results   []Result `json:"results"`
 }
 
-// benchLine matches standard `go test -bench` output, e.g.
+// benchLine matches the prefix of standard `go test -bench` output, e.g.
 //
 //	BenchmarkFigure2WorkedExample-8   3   2086155 ns/op   1585464 B/op   3512 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+//
+// Measurements after the iteration count are parsed as generic
+// (value, unit) pairs so throughput (MB/s) and custom b.ReportMetric
+// units (records/op) survive alongside ns/op, B/op, and allocs/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parseBenchLine parses one benchmark output line, or returns nil.
+func parseBenchLine(line string) *Result {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return nil
+	}
+	r := &Result{Name: m[1]}
+	r.Iters, _ = strconv.ParseInt(m[2], 10, 64)
+	fields := strings.Fields(m[3])
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BPerOp = v
+		case "allocs/op":
+			r.AllocsOp = v
+		case "MB/s":
+			r.MBPerS = v
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = v
+		}
+	}
+	if r.NsPerOp == 0 {
+		return nil
+	}
+	return r
+}
 
 func main() {
 	log.SetFlags(0)
@@ -88,20 +131,11 @@ func main() {
 		if strings.HasPrefix(line, "goarch:") || strings.HasPrefix(line, "pkg:") {
 			continue
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		r := parseBenchLine(line)
+		if r == nil {
 			continue
 		}
-		r := Result{Name: m[1]}
-		r.Iters, _ = strconv.ParseInt(m[2], 10, 64)
-		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			r.BPerOp, _ = strconv.ParseFloat(m[4], 64)
-		}
-		if m[5] != "" {
-			r.AllocsOp, _ = strconv.ParseFloat(m[5], 64)
-		}
-		snap.Results = append(snap.Results, r)
+		snap.Results = append(snap.Results, *r)
 	}
 	if err := sc.Err(); err != nil {
 		log.Fatal(err)

@@ -1,7 +1,6 @@
 package bgp
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -21,35 +20,91 @@ type AttrSet struct {
 
 // Marshal encodes the attribute set in BGP path-attribute wire format with
 // 4-octet AS numbers.
-func (a AttrSet) Marshal() ([]byte, error) {
-	var b bytes.Buffer
-	b.Write([]byte{flagTransit, attrOrigin, 1, byte(a.Origin)})
-	var pb bytes.Buffer
+func (a AttrSet) Marshal() ([]byte, error) { return a.AppendWire(nil) }
+
+// AppendWire appends the attribute set's wire encoding to dst and returns
+// the extended slice; this is the allocation-free path the MRT writer uses.
+func (a AttrSet) AppendWire(dst []byte) ([]byte, error) {
+	dst = append(dst, flagTransit, attrOrigin, 1, byte(a.Origin))
+	// AS_PATH: the value length is computable up front, so the attribute
+	// header is emitted first and the segments appended directly after it.
+	plen := 0
 	for _, seg := range a.ASPath {
 		if len(seg.ASNs) > 255 {
 			return nil, errors.New("bgp: segment longer than 255 ASNs")
 		}
-		pb.WriteByte(seg.Type)
-		pb.WriteByte(byte(len(seg.ASNs)))
+		plen += 2 + 4*len(seg.ASNs)
+	}
+	var err error
+	if dst, err = appendAttrHeader(dst, flagTransit, attrASPath, plen); err != nil {
+		return nil, err
+	}
+	for _, seg := range a.ASPath {
+		dst = append(dst, seg.Type, byte(len(seg.ASNs)))
 		for _, x := range seg.ASNs {
-			binary.Write(&pb, binary.BigEndian, uint32(x))
+			dst = binary.BigEndian.AppendUint32(dst, uint32(x))
 		}
 	}
-	writeAttr(&b, flagTransit, attrASPath, pb.Bytes())
 	if a.NextHop.IsValid() {
 		if !a.NextHop.Is4() {
 			return nil, errors.New("bgp: AttrSet next hop must be IPv4")
 		}
 		nh := a.NextHop.As4()
-		writeAttr(&b, flagTransit, attrNextHop, nh[:])
+		if dst, err = appendAttrHeader(dst, flagTransit, attrNextHop, 4); err != nil {
+			return nil, err
+		}
+		dst = append(dst, nh[:]...)
 	}
-	return b.Bytes(), nil
+	return dst, nil
+}
+
+// appendAttrHeader appends a path-attribute header for a value of n bytes.
+// The extended-length bit is honored if already set in flags and forced for
+// values over 255 bytes.
+func appendAttrHeader(dst []byte, flags, code uint8, n int) ([]byte, error) {
+	if n > 0xFFFF {
+		return nil, fmt.Errorf("bgp: attribute %d value %d bytes exceeds uint16", code, n)
+	}
+	if n > 255 {
+		flags |= flagExtLen
+	}
+	dst = append(dst, flags, code)
+	if flags&flagExtLen != 0 {
+		return binary.BigEndian.AppendUint16(dst, uint16(n)), nil
+	}
+	return append(dst, byte(n)), nil
 }
 
 // UnmarshalAttrs decodes a path-attribute byte string produced by
 // AttrSet.Marshal (or any BGP speaker emitting the same three attributes).
 // Unknown attributes are skipped.
 func UnmarshalAttrs(b []byte) (AttrSet, error) {
+	var d AttrDecoder
+	return d.decode(b, false)
+}
+
+// AttrDecoder decodes attribute sets into reusable backing arrays, the
+// allocation-free counterpart of UnmarshalAttrs for RIB scanning. Attribute
+// sets decoded by the same AttrDecoder share its storage: each is valid
+// only until the next Reset (the mrt scanner resets once per record, so
+// entries within a record may be held together).
+type AttrDecoder struct {
+	segs []Segment
+	asns []asn.ASN
+}
+
+// Reset recycles the decoder's backing arrays. Attribute sets decoded
+// before the call must no longer be used.
+func (d *AttrDecoder) Reset() {
+	d.segs = d.segs[:0]
+	d.asns = d.asns[:0]
+}
+
+// Decode decodes one attribute set; the result aliases the decoder's
+// buffers until the next Reset.
+func (d *AttrDecoder) Decode(b []byte) (AttrSet, error) { return d.decode(b, true) }
+
+func (d *AttrDecoder) decode(b []byte, reuse bool) (AttrSet, error) {
 	var a AttrSet
 	for len(b) > 0 {
 		if len(b) < 3 {
@@ -79,7 +134,13 @@ func UnmarshalAttrs(b []byte) (AttrSet, error) {
 			}
 			a.Origin = OriginCode(val[0])
 		case attrASPath:
-			ap, err := decodeASPath(val)
+			var ap ASPath
+			var err error
+			if reuse {
+				ap, err = d.decodeASPath(val)
+			} else {
+				ap, err = decodeASPath(val)
+			}
 			if err != nil {
 				return a, err
 			}
@@ -94,7 +155,35 @@ func UnmarshalAttrs(b []byte) (AttrSet, error) {
 	return a, nil
 }
 
+// decodeASPath is decodeASPath appending into the decoder's arenas. If an
+// append reallocates an arena, previously returned slices keep pointing at
+// the old array — still correct, just retired from reuse.
+func (d *AttrDecoder) decodeASPath(b []byte) (ASPath, error) {
+	segStart := len(d.segs)
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return nil, errors.New("bgp: truncated AS_PATH segment header")
+		}
+		segType, n := b[0], int(b[1])
+		b = b[2:]
+		if segType != SegmentSet && segType != SegmentSequence {
+			return nil, fmt.Errorf("bgp: unknown AS_PATH segment type %d", segType)
+		}
+		if len(b) < 4*n {
+			return nil, errors.New("bgp: truncated AS_PATH segment")
+		}
+		asnStart := len(d.asns)
+		for i := 0; i < n; i++ {
+			d.asns = append(d.asns, asn.ASN(binary.BigEndian.Uint32(b[4*i:])))
+		}
+		b = b[4*n:]
+		d.segs = append(d.segs, Segment{
+			Type: segType,
+			ASNs: d.asns[asnStart:len(d.asns):len(d.asns)],
+		})
+	}
+	return d.segs[segStart:len(d.segs):len(d.segs)], nil
+}
+
 // PathOf is a convenience returning the flattened AS path of the set.
 func (a AttrSet) PathOf() Path { return a.ASPath.Flatten() }
-
-var _ = asn.ASN(0) // keep asn import explicit for readers of the wire format

@@ -114,15 +114,8 @@ func (p Path) String() string {
 	return b.String()
 }
 
-// Key returns a compact comparable key for map indexing of paths.
+// Key returns a compact comparable key for map indexing of paths: the same
+// big-endian rendering the Interner hashes.
 func (p Path) Key() string {
-	var b strings.Builder
-	b.Grow(len(p) * 5)
-	for _, a := range p {
-		b.WriteByte(byte(a >> 24))
-		b.WriteByte(byte(a >> 16))
-		b.WriteByte(byte(a >> 8))
-		b.WriteByte(byte(a))
-	}
-	return b.String()
+	return string(appendPathKey(make([]byte, 0, len(p)*4), p))
 }

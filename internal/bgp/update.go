@@ -66,6 +66,15 @@ func (ap ASPath) Flatten() Path {
 	return out
 }
 
+// AppendFlat appends the path's ASNs to dst and returns it: Flatten for
+// callers reusing a scratch path across records.
+func (ap ASPath) AppendFlat(dst Path) Path {
+	for _, s := range ap {
+		dst = append(dst, s.ASNs...)
+	}
+	return dst
+}
+
 // SequencePath wraps a flat path into a single AS_SEQUENCE segment.
 func SequencePath(p Path) ASPath {
 	if len(p) == 0 {
@@ -94,117 +103,122 @@ type Update struct {
 var marker = bytes.Repeat([]byte{0xFF}, 16)
 
 // Marshal encodes the UPDATE with the 19-byte BGP message header.
-func (u *Update) Marshal() ([]byte, error) {
-	var body bytes.Buffer
+func (u *Update) Marshal() ([]byte, error) { return u.AppendWire(nil) }
 
-	wd, err := encodeNLRI(u.Withdrawn)
-	if err != nil {
+// AppendWire appends the UPDATE's full wire encoding (19-byte header
+// included) to dst and returns the extended slice. Callers feeding update
+// streams reuse one buffer across messages to avoid per-message
+// allocation.
+func (u *Update) AppendWire(dst []byte) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, marker...)
+	dst = append(dst, 0, 0, TypeUpdate) // length patched below
+
+	// Withdrawn routes, prefixed with their length.
+	wdPos := len(dst)
+	dst = append(dst, 0, 0)
+	var err error
+	if dst, err = appendNLRI(dst, u.Withdrawn); err != nil {
 		return nil, fmt.Errorf("bgp: withdrawn: %w", err)
 	}
-	binary.Write(&body, binary.BigEndian, uint16(len(wd)))
-	body.Write(wd)
+	binary.BigEndian.PutUint16(dst[wdPos:], uint16(len(dst)-wdPos-2))
 
-	attrs, err := u.encodeAttrs()
-	if err != nil {
+	// Path attributes, prefixed with their length.
+	atPos := len(dst)
+	dst = append(dst, 0, 0)
+	if dst, err = u.appendAttrs(dst); err != nil {
 		return nil, err
 	}
-	binary.Write(&body, binary.BigEndian, uint16(len(attrs)))
-	body.Write(attrs)
+	binary.BigEndian.PutUint16(dst[atPos:], uint16(len(dst)-atPos-2))
 
-	nlri, err := encodeNLRI(u.Announced)
-	if err != nil {
+	if dst, err = appendNLRI(dst, u.Announced); err != nil {
 		return nil, fmt.Errorf("bgp: nlri: %w", err)
 	}
-	body.Write(nlri)
 
-	total := 19 + body.Len()
+	total := len(dst) - start
 	if total > 4096 {
 		return nil, fmt.Errorf("bgp: message length %d exceeds 4096", total)
 	}
-	out := make([]byte, 0, total)
-	out = append(out, marker...)
-	out = binary.BigEndian.AppendUint16(out, uint16(total))
-	out = append(out, TypeUpdate)
-	out = append(out, body.Bytes()...)
-	return out, nil
+	binary.BigEndian.PutUint16(dst[start+16:], uint16(total))
+	return dst, nil
 }
 
-func (u *Update) encodeAttrs() ([]byte, error) {
-	var b bytes.Buffer
+func (u *Update) appendAttrs(dst []byte) ([]byte, error) {
+	var err error
 	if len(u.V6Withdrawn) > 0 {
-		var mp bytes.Buffer
-		binary.Write(&mp, binary.BigEndian, uint16(2)) // AFI IPv6
-		mp.WriteByte(1)                                // SAFI unicast
-		enc, err := encodeNLRI(u.V6Withdrawn)
+		// MP_UNREACH value: AFI + SAFI + NLRI.
+		n, err := nlriWireSize(u.V6Withdrawn)
 		if err != nil {
 			return nil, fmt.Errorf("bgp: v6 withdrawn: %w", err)
 		}
-		mp.Write(enc)
-		writeAttr(&b, flagOptional|flagExtLen, attrMPUnreach, mp.Bytes())
+		if dst, err = appendAttrHeader(dst, flagOptional|flagExtLen, attrMPUnreach, 3+n); err != nil {
+			return nil, err
+		}
+		dst = append(dst, 0, 2, 1) // AFI IPv6, SAFI unicast
+		if dst, err = appendNLRI(dst, u.V6Withdrawn); err != nil {
+			return nil, fmt.Errorf("bgp: v6 withdrawn: %w", err)
+		}
 	}
 	hasReach := len(u.Announced) > 0 || len(u.V6Announced) > 0
 	if hasReach {
 		// ORIGIN
-		b.Write([]byte{flagTransit, attrOrigin, 1, byte(u.Origin)})
-		// AS_PATH (4-octet ASNs)
-		var pb bytes.Buffer
+		dst = append(dst, flagTransit, attrOrigin, 1, byte(u.Origin))
+		// AS_PATH (4-octet ASNs); value length computable up front.
+		plen := 0
 		for _, seg := range u.ASPath {
 			if len(seg.ASNs) > 255 {
 				return nil, errors.New("bgp: segment longer than 255 ASNs")
 			}
-			pb.WriteByte(seg.Type)
-			pb.WriteByte(byte(len(seg.ASNs)))
+			plen += 2 + 4*len(seg.ASNs)
+		}
+		if dst, err = appendAttrHeader(dst, flagTransit, attrASPath, plen); err != nil {
+			return nil, err
+		}
+		for _, seg := range u.ASPath {
+			dst = append(dst, seg.Type, byte(len(seg.ASNs)))
 			for _, a := range seg.ASNs {
-				binary.Write(&pb, binary.BigEndian, uint32(a))
+				dst = binary.BigEndian.AppendUint32(dst, uint32(a))
 			}
 		}
-		writeAttr(&b, flagTransit, attrASPath, pb.Bytes())
 	}
 	if len(u.Announced) > 0 {
 		if !u.NextHop.Is4() {
 			return nil, errors.New("bgp: IPv4 NLRI requires an IPv4 next hop")
 		}
 		nh := u.NextHop.As4()
-		writeAttr(&b, flagTransit, attrNextHop, nh[:])
+		if dst, err = appendAttrHeader(dst, flagTransit, attrNextHop, 4); err != nil {
+			return nil, err
+		}
+		dst = append(dst, nh[:]...)
 	}
 	if u.HasMED {
-		var mb [4]byte
-		binary.BigEndian.PutUint32(mb[:], u.MED)
-		writeAttr(&b, flagOptional, attrMED, mb[:])
+		if dst, err = appendAttrHeader(dst, flagOptional, attrMED, 4); err != nil {
+			return nil, err
+		}
+		dst = binary.BigEndian.AppendUint32(dst, u.MED)
 	}
 	if len(u.V6Announced) > 0 {
 		if !u.V6NextHop.Is6() || u.V6NextHop.Is4() {
 			return nil, errors.New("bgp: IPv6 NLRI requires an IPv6 next hop")
 		}
-		var mp bytes.Buffer
-		binary.Write(&mp, binary.BigEndian, uint16(2)) // AFI IPv6
-		mp.WriteByte(1)                                // SAFI unicast
-		nh := u.V6NextHop.As16()
-		mp.WriteByte(16)
-		mp.Write(nh[:])
-		mp.WriteByte(0) // reserved
-		enc, err := encodeNLRI(u.V6Announced)
+		// MP_REACH value: AFI + SAFI + nh len + nh + reserved + NLRI.
+		n, err := nlriWireSize(u.V6Announced)
 		if err != nil {
 			return nil, fmt.Errorf("bgp: v6 nlri: %w", err)
 		}
-		mp.Write(enc)
-		writeAttr(&b, flagOptional|flagExtLen, attrMPReach, mp.Bytes())
+		if dst, err = appendAttrHeader(dst, flagOptional|flagExtLen, attrMPReach, 21+n); err != nil {
+			return nil, err
+		}
+		dst = append(dst, 0, 2, 1) // AFI IPv6, SAFI unicast
+		nh := u.V6NextHop.As16()
+		dst = append(dst, 16)
+		dst = append(dst, nh[:]...)
+		dst = append(dst, 0) // reserved
+		if dst, err = appendNLRI(dst, u.V6Announced); err != nil {
+			return nil, fmt.Errorf("bgp: v6 nlri: %w", err)
+		}
 	}
-	return b.Bytes(), nil
-}
-
-func writeAttr(b *bytes.Buffer, flags, code uint8, val []byte) {
-	if len(val) > 255 {
-		flags |= flagExtLen
-	}
-	b.WriteByte(flags)
-	b.WriteByte(code)
-	if flags&flagExtLen != 0 {
-		binary.Write(b, binary.BigEndian, uint16(len(val)))
-	} else {
-		b.WriteByte(byte(len(val)))
-	}
-	b.Write(val)
+	return dst, nil
 }
 
 // UnmarshalUpdate decodes a full BGP message, which must be an UPDATE.
@@ -376,25 +390,36 @@ func (u *Update) decodeMPUnreach(b []byte) error {
 	return err
 }
 
-// encodeNLRI writes prefixes in the (length, truncated-address) wire form.
-func encodeNLRI(prefixes []netip.Prefix) ([]byte, error) {
-	var b bytes.Buffer
+// appendNLRI appends prefixes in the (length, truncated-address) wire form.
+func appendNLRI(dst []byte, prefixes []netip.Prefix) ([]byte, error) {
 	for _, p := range prefixes {
 		if !p.IsValid() {
 			return nil, fmt.Errorf("invalid prefix %v", p)
 		}
 		p = p.Masked()
-		b.WriteByte(byte(p.Bits()))
+		dst = append(dst, byte(p.Bits()))
 		nbytes := (p.Bits() + 7) / 8
 		if p.Addr().Is4() {
 			a := p.Addr().As4()
-			b.Write(a[:nbytes])
+			dst = append(dst, a[:nbytes]...)
 		} else {
 			a := p.Addr().As16()
-			b.Write(a[:nbytes])
+			dst = append(dst, a[:nbytes]...)
 		}
 	}
-	return b.Bytes(), nil
+	return dst, nil
+}
+
+// nlriWireSize returns the encoded size of the prefixes without encoding.
+func nlriWireSize(prefixes []netip.Prefix) (int, error) {
+	n := 0
+	for _, p := range prefixes {
+		if !p.IsValid() {
+			return 0, fmt.Errorf("invalid prefix %v", p)
+		}
+		n += 1 + (p.Bits()+7)/8
+	}
+	return n, nil
 }
 
 func decodeNLRI(b []byte, v6 bool) ([]netip.Prefix, error) {

@@ -1,7 +1,6 @@
 package mrt
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"net/netip"
@@ -37,38 +36,23 @@ func (w *Writer) WriteBGP4MP(peerAS, localAS asn.ASN, peerIP, localIP netip.Addr
 	if peerIP.Is4() != localIP.Is4() {
 		return errors.New("mrt: BGP4MP peer and local address families differ")
 	}
-	var b bytes.Buffer
-	binary.Write(&b, binary.BigEndian, uint32(peerAS))
-	binary.Write(&b, binary.BigEndian, uint32(localAS))
-	binary.Write(&b, binary.BigEndian, uint16(0)) // interface index
+	w.beginRecord()
+	w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(peerAS))
+	w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(localAS))
+	w.buf = binary.BigEndian.AppendUint16(w.buf, 0) // interface index
 	if peerIP.Is4() {
-		binary.Write(&b, binary.BigEndian, uint16(1)) // AFI IPv4
+		w.buf = binary.BigEndian.AppendUint16(w.buf, 1) // AFI IPv4
 		p, l := peerIP.As4(), localIP.As4()
-		b.Write(p[:])
-		b.Write(l[:])
+		w.buf = append(w.buf, p[:]...)
+		w.buf = append(w.buf, l[:]...)
 	} else {
-		binary.Write(&b, binary.BigEndian, uint16(2)) // AFI IPv6
+		w.buf = binary.BigEndian.AppendUint16(w.buf, 2) // AFI IPv6
 		p, l := peerIP.As16(), localIP.As16()
-		b.Write(p[:])
-		b.Write(l[:])
+		w.buf = append(w.buf, p[:]...)
+		w.buf = append(w.buf, l[:]...)
 	}
-	b.Write(rawMsg)
-	return w.writeTyped(TypeBGP4MP, SubtypeBGP4MPMessageAS4, b.Bytes())
-}
-
-// writeTyped writes a record with an explicit type, bypassing the
-// TABLE_DUMP_V2 ordering rules.
-func (w *Writer) writeTyped(typ, subtype uint16, body []byte) error {
-	var hdr [12]byte
-	binary.BigEndian.PutUint32(hdr[0:], w.timestamp)
-	binary.BigEndian.PutUint16(hdr[4:], typ)
-	binary.BigEndian.PutUint16(hdr[6:], subtype)
-	binary.BigEndian.PutUint32(hdr[8:], uint32(len(body)))
-	if _, err := w.w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.w.Write(body)
-	return err
+	w.buf = append(w.buf, rawMsg...)
+	return w.finishRecord(TypeBGP4MP, SubtypeBGP4MPMessageAS4)
 }
 
 func decodeBGP4MP(body []byte) (*BGP4MP, error) {

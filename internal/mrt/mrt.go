@@ -6,15 +6,21 @@
 // The simulator serializes its per-collector RIBs through this package and
 // the analysis pipeline parses them back, so the pipeline exercises the same
 // interchange format it would face on real collector archives.
+//
+// The codec is allocation-free in steady state: the Writer assembles every
+// record with direct big-endian puts into one reusable scratch buffer, and
+// the Reader decodes into a reusable body buffer. Next returns freshly
+// allocated records; the opt-in Scan reuses the decoded record and its
+// entries across calls for high-throughput import loops.
 package mrt
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/netip"
 
 	"countryrank/internal/asn"
@@ -52,6 +58,10 @@ type RIBRecord struct {
 	Entries []RIBEntry
 }
 
+// recordHeaderLen is the fixed MRT record header: timestamp, type, subtype,
+// body length.
+const recordHeaderLen = 12
+
 // Writer serializes TABLE_DUMP_V2 records. A PEER_INDEX_TABLE must be
 // written before any RIB records, mirroring collector dump layout.
 type Writer struct {
@@ -59,6 +69,9 @@ type Writer struct {
 	timestamp uint32
 	seq       uint32
 	wrotePIT  bool
+	// buf holds the record being assembled (header + body) and is reused
+	// across records, so steady-state writes allocate nothing.
+	buf []byte
 }
 
 // NewWriter returns a Writer stamping every record with the given time.
@@ -70,16 +83,26 @@ func NewWriter(w io.Writer, timestamp uint32) *Writer {
 // update streams spanning time.
 func (w *Writer) SetTimestamp(ts uint32) { w.timestamp = ts }
 
-func (w *Writer) writeRecord(subtype uint16, body []byte) error {
-	var hdr [12]byte
-	binary.BigEndian.PutUint32(hdr[0:], w.timestamp)
-	binary.BigEndian.PutUint16(hdr[4:], TypeTableDumpV2)
-	binary.BigEndian.PutUint16(hdr[6:], subtype)
-	binary.BigEndian.PutUint32(hdr[8:], uint32(len(body)))
-	if _, err := w.w.Write(hdr[:]); err != nil {
-		return err
+// beginRecord resets the scratch buffer, leaving room for the header.
+func (w *Writer) beginRecord() {
+	if cap(w.buf) < recordHeaderLen {
+		w.buf = make([]byte, recordHeaderLen, 4096)
 	}
-	_, err := w.w.Write(body)
+	w.buf = w.buf[:recordHeaderLen]
+}
+
+// finishRecord stamps the header over the assembled body and flushes the
+// record to the underlying writer.
+func (w *Writer) finishRecord(typ, subtype uint16) error {
+	body := len(w.buf) - recordHeaderLen
+	if uint64(body) > math.MaxUint32 {
+		return fmt.Errorf("mrt: record body %d bytes exceeds uint32", body)
+	}
+	binary.BigEndian.PutUint32(w.buf[0:], w.timestamp)
+	binary.BigEndian.PutUint16(w.buf[4:], typ)
+	binary.BigEndian.PutUint16(w.buf[6:], subtype)
+	binary.BigEndian.PutUint32(w.buf[8:], uint32(body))
+	_, err := w.w.Write(w.buf)
 	return err
 }
 
@@ -95,12 +118,15 @@ func (w *Writer) WritePeerIndexTable(collectorID netip.Addr, viewName string, pe
 	if len(peers) > 0xFFFF {
 		return fmt.Errorf("mrt: %d peers exceeds uint16", len(peers))
 	}
-	var b bytes.Buffer
+	if len(viewName) > 0xFFFF {
+		return fmt.Errorf("mrt: view name %d bytes exceeds uint16", len(viewName))
+	}
+	w.beginRecord()
 	id := collectorID.As4()
-	b.Write(id[:])
-	binary.Write(&b, binary.BigEndian, uint16(len(viewName)))
-	b.WriteString(viewName)
-	binary.Write(&b, binary.BigEndian, uint16(len(peers)))
+	w.buf = append(w.buf, id[:]...)
+	w.buf = binary.BigEndian.AppendUint16(w.buf, uint16(len(viewName)))
+	w.buf = append(w.buf, viewName...)
+	w.buf = binary.BigEndian.AppendUint16(w.buf, uint16(len(peers)))
 	for _, p := range peers {
 		if !p.BGPID.Is4() {
 			return errors.New("mrt: peer BGP ID must be IPv4")
@@ -110,20 +136,20 @@ func (w *Writer) WritePeerIndexTable(collectorID netip.Addr, viewName string, pe
 		if p.Addr.Is6() && !p.Addr.Is4In6() {
 			pt |= 0x01
 		}
-		b.WriteByte(pt)
+		w.buf = append(w.buf, pt)
 		bid := p.BGPID.As4()
-		b.Write(bid[:])
+		w.buf = append(w.buf, bid[:]...)
 		if pt&0x01 != 0 {
 			a := p.Addr.As16()
-			b.Write(a[:])
+			w.buf = append(w.buf, a[:]...)
 		} else {
 			a := p.Addr.Unmap().As4()
-			b.Write(a[:])
+			w.buf = append(w.buf, a[:]...)
 		}
-		binary.Write(&b, binary.BigEndian, uint32(p.AS))
+		w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(p.AS))
 	}
 	w.wrotePIT = true
-	return w.writeRecord(SubtypePeerIndexTable, b.Bytes())
+	return w.finishRecord(TypeTableDumpV2, SubtypePeerIndexTable)
 }
 
 // WriteRIB writes one RIB record; sequence numbers are assigned in call
@@ -135,36 +161,40 @@ func (w *Writer) WriteRIB(prefix netip.Prefix, entries []RIBEntry) error {
 	if len(entries) > 0xFFFF {
 		return fmt.Errorf("mrt: %d entries exceeds uint16", len(entries))
 	}
-	var b bytes.Buffer
-	binary.Write(&b, binary.BigEndian, w.seq)
+	w.beginRecord()
+	w.buf = binary.BigEndian.AppendUint32(w.buf, w.seq)
 	w.seq++
 	prefix = prefix.Masked()
-	b.WriteByte(byte(prefix.Bits()))
+	w.buf = append(w.buf, byte(prefix.Bits()))
 	nbytes := (prefix.Bits() + 7) / 8
 	subtype := uint16(SubtypeRIBIPv4Unicast)
 	if prefix.Addr().Is4() {
 		a := prefix.Addr().As4()
-		b.Write(a[:nbytes])
+		w.buf = append(w.buf, a[:nbytes]...)
 	} else {
 		subtype = SubtypeRIBIPv6Unicast
 		a := prefix.Addr().As16()
-		b.Write(a[:nbytes])
+		w.buf = append(w.buf, a[:nbytes]...)
 	}
-	binary.Write(&b, binary.BigEndian, uint16(len(entries)))
-	for _, e := range entries {
-		attrs, err := e.Attrs.Marshal()
-		if err != nil {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, uint16(len(entries)))
+	for i := range entries {
+		e := &entries[i]
+		w.buf = binary.BigEndian.AppendUint16(w.buf, e.PeerIndex)
+		w.buf = binary.BigEndian.AppendUint32(w.buf, e.OriginatedAt)
+		// Attribute length back-patched once the attrs are appended.
+		lenPos := len(w.buf)
+		w.buf = append(w.buf, 0, 0)
+		var err error
+		if w.buf, err = e.Attrs.AppendWire(w.buf); err != nil {
 			return fmt.Errorf("mrt: entry attrs: %w", err)
 		}
-		if len(attrs) > 0xFFFF {
+		alen := len(w.buf) - lenPos - 2
+		if alen > 0xFFFF {
 			return errors.New("mrt: attributes exceed uint16 length")
 		}
-		binary.Write(&b, binary.BigEndian, e.PeerIndex)
-		binary.Write(&b, binary.BigEndian, e.OriginatedAt)
-		binary.Write(&b, binary.BigEndian, uint16(len(attrs)))
-		b.Write(attrs)
+		binary.BigEndian.PutUint16(w.buf[lenPos:], uint16(alen))
 	}
-	return w.writeRecord(subtype, b.Bytes())
+	return w.finishRecord(TypeTableDumpV2, subtype)
 }
 
 // Flush writes any buffered output to the underlying writer.
@@ -188,17 +218,37 @@ type PeerIndexTable struct {
 
 // Reader parses TABLE_DUMP_V2 records from a stream.
 type Reader struct {
-	r *bufio.Reader
+	r      *bufio.Reader
+	sawPIT bool
+	hdr    [recordHeaderLen]byte
+	body   []byte // reusable record body buffer
+
+	// Scan-mode storage, reused across Scan calls.
+	scanRec Record
+	scanPIT PeerIndexTable
+	scanRIB RIBRecord
+	dec     bgp.AttrDecoder
 }
 
 // NewReader returns a Reader over r.
 func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
 
 // Next returns the next record, or io.EOF at end of stream. Records of
-// types other than TABLE_DUMP_V2 are rejected.
-func (r *Reader) Next() (*Record, error) {
-	var hdr [12]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+// types other than TABLE_DUMP_V2 are rejected. The record is freshly
+// allocated and remains valid across calls; import loops that can tolerate
+// reuse should prefer Scan.
+func (r *Reader) Next() (*Record, error) { return r.next(false) }
+
+// Scan is Next with storage reuse: the returned record, its peer table or
+// RIB entries, and every attribute set within them are owned by the Reader
+// and valid only until the following Scan or Next call. Callers must copy
+// whatever they keep. BGP4MP records are still freshly decoded (update
+// messages are small; the RIB path is the hot one).
+func (r *Reader) Scan() (*Record, error) { return r.next(true) }
+
+func (r *Reader) next(reuse bool) (*Record, error) {
+	hdr := r.hdr[:]
+	if _, err := io.ReadFull(r.r, hdr); err != nil {
 		if errors.Is(err, io.EOF) {
 			return nil, io.EOF
 		}
@@ -214,11 +264,21 @@ func (r *Reader) Next() (*Record, error) {
 	if length > 1<<26 {
 		return nil, fmt.Errorf("mrt: implausible record length %d", length)
 	}
-	body := make([]byte, length)
+	if uint32(cap(r.body)) < length {
+		r.body = make([]byte, length)
+	}
+	body := r.body[:length]
 	if _, err := io.ReadFull(r.r, body); err != nil {
 		return nil, fmt.Errorf("mrt: body: %w", err)
 	}
-	rec := &Record{Timestamp: ts}
+	var rec *Record
+	if reuse {
+		rec = &r.scanRec
+		*rec = Record{}
+	} else {
+		rec = &Record{}
+	}
+	rec.Timestamp = ts
 	if typ == TypeBGP4MP {
 		if sub != SubtypeBGP4MPMessageAS4 {
 			return nil, fmt.Errorf("mrt: unsupported BGP4MP subtype %d", sub)
@@ -232,14 +292,33 @@ func (r *Reader) Next() (*Record, error) {
 	}
 	switch sub {
 	case SubtypePeerIndexTable:
-		pit, err := decodePeerIndexTable(body)
-		if err != nil {
+		if r.sawPIT {
+			return nil, errors.New("mrt: duplicate PEER_INDEX_TABLE in stream")
+		}
+		var pit *PeerIndexTable
+		if reuse {
+			pit = &r.scanPIT
+			pit.Peers = pit.Peers[:0]
+		} else {
+			pit = &PeerIndexTable{}
+		}
+		if err := decodePeerIndexTable(body, pit); err != nil {
 			return nil, err
 		}
+		r.sawPIT = true
 		rec.PeerIndexTable = pit
 	case SubtypeRIBIPv4Unicast, SubtypeRIBIPv6Unicast:
-		rib, err := decodeRIB(body, sub == SubtypeRIBIPv6Unicast)
-		if err != nil {
+		var rib *RIBRecord
+		var dec *bgp.AttrDecoder
+		if reuse {
+			rib = &r.scanRIB
+			rib.Entries = rib.Entries[:0]
+			dec = &r.dec
+			dec.Reset()
+		} else {
+			rib = &RIBRecord{}
+		}
+		if err := decodeRIB(body, sub == SubtypeRIBIPv6Unicast, rib, dec); err != nil {
 			return nil, err
 		}
 		rec.RIB = rib
@@ -249,24 +328,26 @@ func (r *Reader) Next() (*Record, error) {
 	return rec, nil
 }
 
-func decodePeerIndexTable(b []byte) (*PeerIndexTable, error) {
+func decodePeerIndexTable(b []byte, pit *PeerIndexTable) error {
 	if len(b) < 8 {
-		return nil, errors.New("mrt: truncated PEER_INDEX_TABLE")
+		return errors.New("mrt: truncated PEER_INDEX_TABLE")
 	}
-	pit := &PeerIndexTable{CollectorID: netip.AddrFrom4([4]byte(b[:4]))}
+	pit.CollectorID = netip.AddrFrom4([4]byte(b[:4]))
 	nameLen := int(binary.BigEndian.Uint16(b[4:6]))
 	b = b[6:]
 	if len(b) < nameLen+2 {
-		return nil, errors.New("mrt: truncated view name")
+		return errors.New("mrt: truncated view name")
 	}
 	pit.ViewName = string(b[:nameLen])
 	b = b[nameLen:]
 	n := int(binary.BigEndian.Uint16(b[:2]))
 	b = b[2:]
-	pit.Peers = make([]Peer, 0, n)
+	if pit.Peers == nil {
+		pit.Peers = make([]Peer, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		if len(b) < 5 {
-			return nil, errors.New("mrt: truncated peer entry")
+			return errors.New("mrt: truncated peer entry")
 		}
 		pt := b[0]
 		var p Peer
@@ -274,40 +355,43 @@ func decodePeerIndexTable(b []byte) (*PeerIndexTable, error) {
 		b = b[5:]
 		if pt&0x01 != 0 {
 			if len(b) < 16 {
-				return nil, errors.New("mrt: truncated v6 peer address")
+				return errors.New("mrt: truncated v6 peer address")
 			}
 			p.Addr = netip.AddrFrom16([16]byte(b[:16]))
 			b = b[16:]
 		} else {
 			if len(b) < 4 {
-				return nil, errors.New("mrt: truncated v4 peer address")
+				return errors.New("mrt: truncated v4 peer address")
 			}
 			p.Addr = netip.AddrFrom4([4]byte(b[:4]))
 			b = b[4:]
 		}
 		if pt&0x02 != 0 {
 			if len(b) < 4 {
-				return nil, errors.New("mrt: truncated peer AS")
+				return errors.New("mrt: truncated peer AS")
 			}
 			p.AS = asn.ASN(binary.BigEndian.Uint32(b[:4]))
 			b = b[4:]
 		} else {
 			if len(b) < 2 {
-				return nil, errors.New("mrt: truncated peer AS")
+				return errors.New("mrt: truncated peer AS")
 			}
 			p.AS = asn.ASN(binary.BigEndian.Uint16(b[:2]))
 			b = b[2:]
 		}
 		pit.Peers = append(pit.Peers, p)
 	}
-	return pit, nil
+	return nil
 }
 
-func decodeRIB(b []byte, v6 bool) (*RIBRecord, error) {
+// decodeRIB parses a RIB record body into rib. With a non-nil dec the
+// entries' attribute sets are decoded into the decoder's reusable arenas
+// (the Scan path); with nil they are freshly allocated.
+func decodeRIB(b []byte, v6 bool, rib *RIBRecord, dec *bgp.AttrDecoder) error {
 	if len(b) < 5 {
-		return nil, errors.New("mrt: truncated RIB record")
+		return errors.New("mrt: truncated RIB record")
 	}
-	rib := &RIBRecord{Seq: binary.BigEndian.Uint32(b[:4])}
+	rib.Seq = binary.BigEndian.Uint32(b[:4])
 	bits := int(b[4])
 	b = b[5:]
 	max := 32
@@ -315,11 +399,11 @@ func decodeRIB(b []byte, v6 bool) (*RIBRecord, error) {
 		max = 128
 	}
 	if bits > max {
-		return nil, fmt.Errorf("mrt: prefix length %d exceeds %d", bits, max)
+		return fmt.Errorf("mrt: prefix length %d exceeds %d", bits, max)
 	}
 	nbytes := (bits + 7) / 8
 	if len(b) < nbytes+2 {
-		return nil, errors.New("mrt: truncated prefix")
+		return errors.New("mrt: truncated prefix")
 	}
 	if v6 {
 		var a [16]byte
@@ -333,10 +417,12 @@ func decodeRIB(b []byte, v6 bool) (*RIBRecord, error) {
 	b = b[nbytes:]
 	n := int(binary.BigEndian.Uint16(b[:2]))
 	b = b[2:]
-	rib.Entries = make([]RIBEntry, 0, n)
+	if rib.Entries == nil {
+		rib.Entries = make([]RIBEntry, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		if len(b) < 8 {
-			return nil, errors.New("mrt: truncated RIB entry")
+			return errors.New("mrt: truncated RIB entry")
 		}
 		var e RIBEntry
 		e.PeerIndex = binary.BigEndian.Uint16(b[:2])
@@ -344,15 +430,21 @@ func decodeRIB(b []byte, v6 bool) (*RIBRecord, error) {
 		alen := int(binary.BigEndian.Uint16(b[6:8]))
 		b = b[8:]
 		if len(b) < alen {
-			return nil, errors.New("mrt: truncated RIB entry attributes")
+			return errors.New("mrt: truncated RIB entry attributes")
 		}
-		attrs, err := bgp.UnmarshalAttrs(b[:alen])
+		var attrs bgp.AttrSet
+		var err error
+		if dec != nil {
+			attrs, err = dec.Decode(b[:alen])
+		} else {
+			attrs, err = bgp.UnmarshalAttrs(b[:alen])
+		}
 		if err != nil {
-			return nil, fmt.Errorf("mrt: entry attrs: %w", err)
+			return fmt.Errorf("mrt: entry attrs: %w", err)
 		}
 		e.Attrs = attrs
 		b = b[alen:]
 		rib.Entries = append(rib.Entries, e)
 	}
-	return rib, nil
+	return nil
 }

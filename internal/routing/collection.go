@@ -4,7 +4,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -178,24 +178,26 @@ func BuildCollection(w *topology.World, opt BuildOptions) *Collection {
 	}
 	wg.Wait()
 	// Size the output exactly: repeated append-doubling of multi-megabyte
-	// slices dominates the profile otherwise.
+	// slices dominates the profile otherwise. Paths are hash-consed — many
+	// VPs export the same route toward an origin — so the interner sizes to
+	// the upper bound and the final table is typically much smaller.
 	var nPaths, nRecs int
 	for origin := range perOrigin {
 		nPaths += len(perOrigin[origin])
 		nRecs += len(perOrigin[origin]) * len(byOrigin[origin])
 	}
-	col.Paths = make([]bgp.Path, 0, nPaths+nRecs/256+16)
+	it := bgp.NewInterner(nPaths)
 	col.Records = make([]Record, 0, nRecs)
 	for origin := int32(0); origin < int32(g.NumASes()); origin++ {
 		pfxs := byOrigin[origin]
 		for _, rt := range perOrigin[origin] {
-			pi := int32(len(col.Paths))
-			col.Paths = append(col.Paths, rt.path)
+			pi := it.InternOwned(rt.path)
 			for _, pfx := range pfxs {
 				col.Records = append(col.Records, Record{VP: rt.vpIdx, Prefix: pfx, Path: pi})
 			}
 		}
 	}
+	col.Paths = it.Paths()
 
 	// Day-to-day instability: stable prefixes appear in every daily RIB;
 	// unstable ones flap, missing at least one day.
@@ -247,7 +249,7 @@ func (c *Collection) injectAnomalies(rng *rand.Rand, opt BuildOptions) {
 			}
 		}
 	}
-	sort.Slice(stubPool, func(i, j int) bool { return stubPool[i] < stubPool[j] })
+	slices.Sort(stubPool)
 
 	mutate := func(idx int, f func(bgp.Path) bgp.Path) {
 		old := c.Paths[c.Records[idx].Path]

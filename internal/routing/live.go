@@ -1,9 +1,10 @@
 package routing
 
 import (
+	"cmp"
 	"fmt"
 	"net/netip"
-	"sort"
+	"slices"
 
 	"countryrank/internal/bgp"
 	"countryrank/internal/bgpsession"
@@ -51,7 +52,7 @@ func CollectionFromTables(c *Collection, tables map[int32]*bgpsession.Table) *Co
 	for v := range tables {
 		vps = append(vps, v)
 	}
-	sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
+	slices.Sort(vps)
 
 	for _, v := range vps {
 		t := tables[v]
@@ -59,11 +60,11 @@ func CollectionFromTables(c *Collection, tables map[int32]*bgpsession.Table) *Co
 		for p := range t.Routes {
 			pfxs = append(pfxs, p)
 		}
-		sort.Slice(pfxs, func(i, j int) bool {
-			if pfxs[i].Addr() != pfxs[j].Addr() {
-				return pfxs[i].Addr().Less(pfxs[j].Addr())
+		slices.SortFunc(pfxs, func(a, b netip.Prefix) int {
+			if c := a.Addr().Compare(b.Addr()); c != 0 {
+				return c
 			}
-			return pfxs[i].Bits() < pfxs[j].Bits()
+			return cmp.Compare(a.Bits(), b.Bits())
 		})
 		for _, p := range pfxs {
 			pi, ok := prefixIdx[p]

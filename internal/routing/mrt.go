@@ -4,12 +4,32 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
-	"sort"
 
+	"countryrank/internal/asn"
 	"countryrank/internal/bgp"
 	"countryrank/internal/mrt"
+	"countryrank/internal/par"
 	"countryrank/internal/topology"
 )
+
+// countingScatter stably distributes src into dst grouped by ascending
+// key(v), with nKeys bounding the key space. Two chained passes implement an
+// LSD radix sort over a composite key; one pass is a stable group-by that
+// replaces a map plus sort.Slice when the keys are dense indexes.
+func countingScatter(src, dst []int32, nKeys int, key func(int32) int32) {
+	cnt := make([]int32, nKeys+1)
+	for _, v := range src {
+		cnt[key(v)+1]++
+	}
+	for k := 0; k < nKeys; k++ {
+		cnt[k+1] += cnt[k]
+	}
+	for _, v := range src {
+		k := key(v)
+		dst[cnt[k]] = v
+		cnt[k]++
+	}
+}
 
 // ExportMRT writes the collection's base-day RIB for one collector as a
 // TABLE_DUMP_V2 stream: the same interchange format RouteViews and RIS
@@ -21,15 +41,17 @@ func ExportMRT(w io.Writer, c *Collection, collector string, timestamp uint32) e
 		return fmt.Errorf("routing: unknown collector %q", collector)
 	}
 
-	// Peer table: the collector's VPs, in VP-index order.
-	var peerIdx = map[int32]uint16{}
+	// Peer table: the collector's VPs, in VP-index order. peerOf maps the
+	// dense VP index to its peer index, -1 for other collectors' VPs.
+	peerOf := make([]int32, set.Len())
 	var peers []mrt.Peer
 	for i := 0; i < set.Len(); i++ {
 		v := set.VP(i)
 		if v.Collector != collector {
+			peerOf[i] = -1
 			continue
 		}
-		peerIdx[int32(i)] = uint16(len(peers))
+		peerOf[i] = int32(len(peers))
 		peers = append(peers, mrt.Peer{BGPID: v.Addr, Addr: v.Addr, AS: v.AS})
 	}
 
@@ -38,36 +60,59 @@ func ExportMRT(w io.Writer, c *Collection, collector string, timestamp uint32) e
 		return err
 	}
 
-	// Group records by prefix, keeping only this collector's VPs.
-	byPrefix := make(map[int32][]Record)
-	for _, r := range c.Records {
-		if _, ok := peerIdx[r.VP]; ok {
-			byPrefix[r.Prefix] = append(byPrefix[r.Prefix], r)
+	// Emit RIB records grouped by ascending prefix index with ascending VP
+	// inside each group: two counting-sort passes over the dense (prefix,
+	// VP) key, least significant digit first, so the VP order survives the
+	// stable scatter by prefix.
+	var keep []int32
+	for i, r := range c.Records {
+		if peerOf[r.VP] >= 0 {
+			keep = append(keep, int32(i))
 		}
 	}
-	pfxs := make([]int32, 0, len(byPrefix))
-	for p := range byPrefix {
-		pfxs = append(pfxs, p)
-	}
-	sort.Slice(pfxs, func(i, j int) bool { return pfxs[i] < pfxs[j] })
+	byVP := make([]int32, len(keep))
+	countingScatter(keep, byVP, set.Len(), func(ri int32) int32 { return c.Records[ri].VP })
+	countingScatter(byVP, keep, len(c.Prefixes), func(ri int32) int32 { return c.Records[ri].Prefix })
 
-	for _, p := range pfxs {
-		recs := byPrefix[p]
-		sort.Slice(recs, func(i, j int) bool { return recs[i].VP < recs[j].VP })
-		entries := make([]mrt.RIBEntry, 0, len(recs))
-		for _, r := range recs {
+	// entries and its parallel AS_SEQUENCE segments reuse scratch across
+	// groups; segScratch is fully built before entries reference it, since
+	// growing it mid-group would leave earlier ASPath slices pointing at
+	// the retired array.
+	var entries []mrt.RIBEntry
+	var segScratch []bgp.Segment
+	for s := 0; s < len(keep); {
+		p := c.Records[keep[s]].Prefix
+		e := s
+		for e < len(keep) && c.Records[keep[e]].Prefix == p {
+			e++
+		}
+		segScratch = segScratch[:0]
+		for _, ri := range keep[s:e] {
+			segScratch = append(segScratch, bgp.Segment{
+				Type: bgp.SegmentSequence,
+				ASNs: c.Paths[c.Records[ri].Path],
+			})
+		}
+		entries = entries[:0]
+		for i, ri := range keep[s:e] {
+			r := c.Records[ri]
+			var seq bgp.ASPath
+			if len(segScratch[i].ASNs) > 0 {
+				seq = segScratch[i : i+1 : i+1]
+			}
 			entries = append(entries, mrt.RIBEntry{
-				PeerIndex:    peerIdx[r.VP],
+				PeerIndex:    uint16(peerOf[r.VP]),
 				OriginatedAt: timestamp,
 				Attrs: bgp.AttrSet{
 					Origin: bgp.OriginIGP,
-					ASPath: bgp.SequencePath(c.Paths[r.Path]),
+					ASPath: seq,
 				},
 			})
 		}
 		if err := mw.WriteRIB(c.Prefixes[p], entries); err != nil {
 			return err
 		}
+		s = e
 	}
 	return mw.Flush()
 }
@@ -90,65 +135,161 @@ func ExportUpdatesMRT(w io.Writer, c *Collection, collector string, day int, tim
 	mw := mrt.NewWriter(w, timestamp)
 	collectorIP := netip.AddrFrom4([4]byte{192, 0, 2, 1})
 
-	// Group this collector's records by VP for deterministic emission.
-	byVP := map[int32][]Record{}
-	var vpOrder []int32
-	for _, r := range c.Records {
+	// One stable counting pass groups the collector's records by ascending
+	// VP while keeping record order within each VP.
+	keep := make([]int32, 0, len(c.Records))
+	for i, r := range c.Records {
+		if set.VP(int(r.VP)).Collector == collector {
+			keep = append(keep, int32(i))
+		}
+	}
+	order := make([]int32, len(keep))
+	countingScatter(keep, order, set.Len(), func(ri int32) int32 { return c.Records[ri].VP })
+
+	var raw []byte
+	for _, ri := range order {
+		r := c.Records[ri]
 		v := set.VP(int(r.VP))
-		if v.Collector != collector {
+		was := c.PresentOn(r.Prefix, day-1)
+		is := c.PresentOn(r.Prefix, day)
+		if was == is {
 			continue
 		}
-		if _, seen := byVP[r.VP]; !seen {
-			vpOrder = append(vpOrder, r.VP)
+		var u bgp.Update
+		pfx := c.Prefixes[r.Prefix]
+		switch {
+		case is && pfx.Addr().Is4():
+			u = bgp.Update{
+				ASPath:    bgp.SequencePath(c.Paths[r.Path]),
+				NextHop:   v.Addr,
+				Announced: []netip.Prefix{pfx},
+			}
+		case is:
+			u = bgp.Update{
+				ASPath:      bgp.SequencePath(c.Paths[r.Path]),
+				V6NextHop:   v6NextHop,
+				V6Announced: []netip.Prefix{pfx},
+			}
+		case pfx.Addr().Is4():
+			u = bgp.Update{Withdrawn: []netip.Prefix{pfx}}
+		default:
+			u = bgp.Update{V6Withdrawn: []netip.Prefix{pfx}}
 		}
-		byVP[r.VP] = append(byVP[r.VP], r)
-	}
-	sort.Slice(vpOrder, func(i, j int) bool { return vpOrder[i] < vpOrder[j] })
-
-	for _, vpIdx := range vpOrder {
-		v := set.VP(int(vpIdx))
-		for _, r := range byVP[vpIdx] {
-			was := c.PresentOn(r.Prefix, day-1)
-			is := c.PresentOn(r.Prefix, day)
-			if was == is {
-				continue
-			}
-			var u bgp.Update
-			pfx := c.Prefixes[r.Prefix]
-			switch {
-			case is && pfx.Addr().Is4():
-				u = bgp.Update{
-					ASPath:    bgp.SequencePath(c.Paths[r.Path]),
-					NextHop:   v.Addr,
-					Announced: []netip.Prefix{pfx},
-				}
-			case is:
-				u = bgp.Update{
-					ASPath:      bgp.SequencePath(c.Paths[r.Path]),
-					V6NextHop:   v6NextHop,
-					V6Announced: []netip.Prefix{pfx},
-				}
-			case pfx.Addr().Is4():
-				u = bgp.Update{Withdrawn: []netip.Prefix{pfx}}
-			default:
-				u = bgp.Update{V6Withdrawn: []netip.Prefix{pfx}}
-			}
-			raw, err := u.Marshal()
-			if err != nil {
-				return fmt.Errorf("routing: update: %w", err)
-			}
-			if err := mw.WriteBGP4MP(v.AS, 6447, v.Addr, collectorIP, raw); err != nil {
-				return err
-			}
+		var err error
+		raw, err = u.AppendWire(raw[:0])
+		if err != nil {
+			return fmt.Errorf("routing: update: %w", err)
+		}
+		if err := mw.WriteBGP4MP(v.AS, 6447, v.Addr, collectorIP, raw); err != nil {
+			return err
 		}
 	}
 	return mw.Flush()
 }
 
+// importStream is the per-stream partial of a parallel ImportMRT. Records
+// carry the global VP index but stream-local prefix and path indexes; the
+// merge remaps them in stream order, which keeps the result independent of
+// worker scheduling. paths is run-length deduplicated per peer, not fully
+// interned — full hash-consing happens once, in the merge — so the hot
+// decode loop stays free of intern-table hashing.
+type importStream struct {
+	prefixes  []netip.Prefix
+	origins   []asn.ASN
+	originSet []bool
+	records   []Record
+	paths     []bgp.Path
+	err       error
+}
+
+func importOneStream(stream io.Reader, byAddr map[netip.Addr]int32) importStream {
+	var out importStream
+	r := mrt.NewReader(stream)
+	prefixIdx := map[netip.Prefix]int32{}
+	// vpOf resolves a stream peer index to the world VP index (-1 unknown);
+	// it is built once per peer table so the hot loop never hashes peering
+	// addresses. lastPath memoizes each peer's most recent path: exports
+	// emit prefixes of one origin back to back, so consecutive RIB records
+	// usually repeat the previous path per peer, and a slice compare
+	// collapses the run. Retained paths are sliced out of a shared arena;
+	// append may retire the arena's backing array, but earlier slices keep
+	// the old one alive, so they stay valid.
+	var vpOf, lastPath []int32
+	var flat, arena bgp.Path
+	for {
+		rec, err := r.Scan()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			out.err = err
+			return out
+		}
+		if rec.PeerIndexTable != nil {
+			peers := rec.PeerIndexTable.Peers
+			vpOf = vpOf[:0]
+			lastPath = lastPath[:0]
+			for _, p := range peers {
+				gi, known := byAddr[p.Addr]
+				if !known {
+					gi = -1
+				}
+				vpOf = append(vpOf, gi)
+				lastPath = append(lastPath, -1)
+			}
+			continue
+		}
+		rib := rec.RIB
+		if rib == nil {
+			continue
+		}
+		pi, ok := prefixIdx[rib.Prefix]
+		if !ok {
+			pi = int32(len(out.prefixes))
+			prefixIdx[rib.Prefix] = pi
+			out.prefixes = append(out.prefixes, rib.Prefix)
+			out.origins = append(out.origins, 0)
+			out.originSet = append(out.originSet, false)
+		}
+		for _, e := range rib.Entries {
+			if int(e.PeerIndex) >= len(vpOf) {
+				out.err = fmt.Errorf("routing: peer index %d out of range", e.PeerIndex)
+				return out
+			}
+			vpIdx := vpOf[e.PeerIndex]
+			if vpIdx < 0 {
+				continue
+			}
+			flat = e.Attrs.ASPath.AppendFlat(flat[:0])
+			if o, ok := flat.Origin(); ok && !out.originSet[pi] {
+				out.origins[pi] = o
+				out.originSet[pi] = true
+			}
+			pathID := lastPath[e.PeerIndex]
+			if pathID < 0 || !flat.Equal(out.paths[pathID]) {
+				pathID = int32(len(out.paths))
+				start := len(arena)
+				arena = append(arena, flat...)
+				out.paths = append(out.paths, arena[start:len(arena):len(arena)])
+				lastPath[e.PeerIndex] = pathID
+			}
+			out.records = append(out.records, Record{
+				VP:     vpIdx,
+				Prefix: pi,
+				Path:   pathID,
+			})
+		}
+	}
+}
+
 // ImportMRT parses TABLE_DUMP_V2 streams (one per collector) back into a
 // Collection attached to the given world. VPs are matched by peering
-// address; entries from unknown peers are dropped. Stability defaults to
-// true for every prefix (MRT carries a single day).
+// address; entries from unknown peers are dropped. Streams decode
+// concurrently and merge in stream order, so the result is identical at any
+// GOMAXPROCS. Paths are hash-consed into a shared table; the origin of each
+// prefix is the first one observed in stream order, with "not yet seen"
+// tracked explicitly so an AS0 origin is preserved rather than overwritten.
+// Stability defaults to true for every prefix (MRT carries a single day).
 func ImportMRT(w *topology.World, streams []io.Reader) (*Collection, error) {
 	set := w.VPs
 	byAddr := map[netip.Addr]int32{}
@@ -156,56 +297,58 @@ func ImportMRT(w *topology.World, streams []io.Reader) (*Collection, error) {
 		byAddr[set.VP(i).Addr] = int32(i)
 	}
 
-	col := &Collection{World: w, Days: 1}
-	prefixIdx := map[netip.Prefix]int32{}
-
-	for _, stream := range streams {
-		r := mrt.NewReader(stream)
-		var peers []mrt.Peer
-		for {
-			rec, err := r.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return nil, err
-			}
-			if rec.PeerIndexTable != nil {
-				peers = rec.PeerIndexTable.Peers
-				continue
-			}
-			rib := rec.RIB
-			if rib == nil {
-				continue
-			}
-			pi, ok := prefixIdx[rib.Prefix]
-			if !ok {
-				pi = int32(len(col.Prefixes))
-				prefixIdx[rib.Prefix] = pi
-				col.Prefixes = append(col.Prefixes, rib.Prefix)
-				col.Origin = append(col.Origin, 0)
-			}
-			for _, e := range rib.Entries {
-				if int(e.PeerIndex) >= len(peers) {
-					return nil, fmt.Errorf("routing: peer index %d out of range", e.PeerIndex)
-				}
-				vpIdx, known := byAddr[peers[e.PeerIndex].Addr]
-				if !known {
-					continue
-				}
-				path := e.Attrs.PathOf()
-				if o, ok := path.Origin(); ok && col.Origin[pi] == 0 {
-					col.Origin[pi] = o
-				}
-				col.Records = append(col.Records, Record{
-					VP:     vpIdx,
-					Prefix: pi,
-					Path:   int32(len(col.Paths)),
-				})
-				col.Paths = append(col.Paths, path)
-			}
+	parts := make([]importStream, len(streams))
+	par.ForEach(len(streams), func(si int) {
+		parts[si] = importOneStream(streams[si], byAddr)
+	})
+	for si := range parts {
+		if parts[si].err != nil {
+			return nil, parts[si].err
 		}
 	}
+
+	col := &Collection{World: w, Days: 1}
+	prefixIdx := map[netip.Prefix]int32{}
+	it := bgp.NewInterner(0)
+	var originSet []bool
+	nRecs := 0
+	for si := range parts {
+		nRecs += len(parts[si].records)
+	}
+	col.Records = make([]Record, 0, nRecs)
+	for si := range parts {
+		p := &parts[si]
+		pfxMap := make([]int32, len(p.prefixes))
+		for li, pfx := range p.prefixes {
+			gi, ok := prefixIdx[pfx]
+			if !ok {
+				gi = int32(len(col.Prefixes))
+				prefixIdx[pfx] = gi
+				col.Prefixes = append(col.Prefixes, pfx)
+				col.Origin = append(col.Origin, 0)
+				originSet = append(originSet, false)
+			}
+			if p.originSet[li] && !originSet[gi] {
+				col.Origin[gi] = p.origins[li]
+				originSet[gi] = true
+			}
+			pfxMap[li] = gi
+		}
+		// Stream-local paths are already owned copies, so the global table
+		// can adopt them without recopying.
+		pathMap := make([]int32, len(p.paths))
+		for li, path := range p.paths {
+			pathMap[li] = it.InternOwned(path)
+		}
+		for _, r := range p.records {
+			col.Records = append(col.Records, Record{
+				VP:     r.VP,
+				Prefix: pfxMap[r.Prefix],
+				Path:   pathMap[r.Path],
+			})
+		}
+	}
+	col.Paths = it.Paths()
 	col.Stable = make([]bool, len(col.Prefixes))
 	for i := range col.Stable {
 		col.Stable[i] = true

@@ -9,7 +9,8 @@
 package routing
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"countryrank/internal/asn"
 	"countryrank/internal/bgp"
@@ -203,8 +204,8 @@ func appendBucket(buckets *[][]int32, d int32, v int32) {
 }
 
 func sortByASN(asns []asn.ASN, nodes []int32) {
-	sort.Slice(nodes, func(i, j int) bool {
-		return asns[nodes[i]] < asns[nodes[j]]
+	slices.SortFunc(nodes, func(a, b int32) int {
+		return cmp.Compare(asns[a], asns[b])
 	})
 }
 

@@ -17,4 +17,7 @@ go test -race ./...
 echo '--- bench smoke (Figure4, 1 iteration)'
 go test -run '^$' -bench Figure4 -benchtime 1x .
 
+echo '--- fuzz smoke (MRT reader, 10s)'
+go test -run '^$' -fuzz FuzzReaderNext -fuzztime 10s ./internal/mrt
+
 echo 'CI OK'
