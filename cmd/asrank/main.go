@@ -5,29 +5,37 @@
 // Usage:
 //
 //	asrank [-seed N] [-scale F] [-vpscale F] [-top K] [-ahc CC]
+//	       [-v LEVEL] [-debug-addr HOST:PORT] [-debug-linger D]
+//
+// -v raises the structured-log verbosity (0 info, 1 debug stage logs);
+// -debug-addr serves /metrics, /healthz, expvar, and pprof, and
+// -debug-linger keeps that server up after the run for scraping.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"strings"
 
 	"countryrank/internal/core"
 	"countryrank/internal/countries"
+	"countryrank/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("asrank: ")
 	seed := flag.Int64("seed", 1, "world seed")
 	scale := flag.Float64("scale", 1, "stub-count scale factor")
 	vpscale := flag.Float64("vpscale", 1, "VP-count scale factor")
 	top := flag.Int("top", 20, "entries per ranking")
 	ahc := flag.String("ahc", "", "also print the AHC baseline for this country code")
+	ofl := obs.Flags("asrank")
 	flag.Parse()
+	ofl.Init()
 
 	p := core.NewPipeline(core.Options{Seed: *seed, StubScale: *scale, VPScale: *vpscale})
+	slog.Debug("pipeline ready", "accepted", p.DS.Len())
 	ccg, ahg := p.Global()
 	fmt.Print(ccg.Render(*top))
 	fmt.Println()
@@ -36,9 +44,11 @@ func main() {
 	if *ahc != "" {
 		c := countries.Code(strings.ToUpper(*ahc))
 		if !countries.Known(c) {
-			log.Fatalf("unknown country %q", *ahc)
+			slog.Error("unknown country", "code", *ahc)
+			os.Exit(1)
 		}
 		fmt.Println()
 		fmt.Print(p.AHC(c).Render(*top))
 	}
+	ofl.Done()
 }

@@ -6,10 +6,13 @@
 // Usage:
 //
 //	bench [-bench REGEX] [-benchtime T] [-count N] [-out FILE] [-baseline FILE]
+//	      [-v LEVEL] [-debug-addr HOST:PORT] [-debug-linger D]
 //
 // With -baseline, the snapshot is compared against a previous BENCH_*.json and
 // per-benchmark ratios are printed; the command exits 1 if any benchmark
 // regressed in ns/op beyond -tolerance (default 1.30, i.e. 30% slower).
+// -v raises the structured-log verbosity; -debug-addr serves /metrics,
+// /healthz, expvar, and pprof for the bench driver itself.
 package main
 
 import (
@@ -17,7 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/exec"
 	"regexp"
@@ -25,7 +28,15 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"countryrank/internal/obs"
 )
+
+// fatal logs err at error level and exits non-zero.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
 
 // Result is one benchmark measurement.
 type Result struct {
@@ -94,15 +105,16 @@ func parseBenchLine(line string) *Result {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("bench: ")
 	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "passed to go test -benchtime")
 	count := flag.Int("count", 1, "passed to go test -count")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
 	baseline := flag.String("baseline", "", "previous BENCH_*.json to compare against")
 	tolerance := flag.Float64("tolerance", 1.30, "max allowed ns/op ratio vs baseline before exit 1")
+	ofl := obs.Flags("bench")
 	flag.Parse()
+	ofl.Init()
+	defer ofl.Done()
 
 	date := time.Now().UTC().Format("2006-01-02")
 	path := *out
@@ -116,10 +128,10 @@ func main() {
 	cmd.Stderr = os.Stderr
 	pipe, err := cmd.StdoutPipe()
 	if err != nil {
-		log.Fatal(err)
+		fatal("stdout pipe", "err", err)
 	}
 	if err := cmd.Start(); err != nil {
-		log.Fatal(err)
+		fatal("start go test", "err", err)
 	}
 
 	snap := Snapshot{Date: date, Bench: *bench, BenchTime: *benchtime}
@@ -138,13 +150,13 @@ func main() {
 		snap.Results = append(snap.Results, *r)
 	}
 	if err := sc.Err(); err != nil {
-		log.Fatal(err)
+		fatal("read bench output", "err", err)
 	}
 	if err := cmd.Wait(); err != nil {
-		log.Fatalf("go test -bench failed: %v", err)
+		fatal("go test -bench failed", "err", err)
 	}
 	if len(snap.Results) == 0 {
-		log.Fatal("no benchmark lines parsed; check the -bench regex")
+		fatal("no benchmark lines parsed; check the -bench regex")
 	}
 	snap.GoVersion = goVersion()
 
@@ -153,12 +165,12 @@ func main() {
 
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
-		log.Fatal(err)
+		fatal("marshal snapshot", "err", err)
 	}
 	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
-		log.Fatal(err)
+		fatal("write snapshot", "err", err)
 	}
-	log.Printf("wrote %s (%d benchmarks)", path, len(snap.Results))
+	slog.Info("wrote snapshot", "path", path, "benchmarks", len(snap.Results))
 
 	if *baseline != "" {
 		if failed := compare(*baseline, snap, *tolerance); failed {
@@ -196,11 +208,11 @@ func bestRuns(rs []Result) []Result {
 func compare(baselinePath string, cur Snapshot, tolerance float64) (failed bool) {
 	buf, err := os.ReadFile(baselinePath)
 	if err != nil {
-		log.Fatal(err)
+		fatal("read baseline", "err", err)
 	}
 	var base Snapshot
 	if err := json.Unmarshal(buf, &base); err != nil {
-		log.Fatalf("parse %s: %v", baselinePath, err)
+		fatal("parse baseline", "path", baselinePath, "err", err)
 	}
 	old := map[string]Result{}
 	for _, r := range base.Results {
@@ -231,7 +243,7 @@ func compare(baselinePath string, cur Snapshot, tolerance float64) (failed bool)
 		fmt.Printf("%-45s %12.0f %12.0f %7.2fx%s\n", name, b.NsPerOp, r.NsPerOp, ratio, mark)
 	}
 	if failed {
-		log.Printf("ns/op regression beyond %.2fx tolerance vs %s", tolerance, baselinePath)
+		slog.Warn("ns/op regression beyond tolerance", "tolerance", tolerance, "baseline", baselinePath)
 	}
 	return failed
 }

@@ -5,36 +5,40 @@
 //
 // Usage:
 //
-//	crank [-seed N] [-scale F] [-vpscale F] [-mrt DIR] [-metric all|CCI|CCN|AHI|AHN|AHC|CTI] [-top K] CC [CC...]
+//	crank [-seed N] [-scale F] [-vpscale F] [-mrt DIR] [-metric all|CCI|CCN|AHI|AHN|AHC|CTI] [-top K]
+//	      [-v LEVEL] [-debug-addr HOST:PORT] [-debug-linger D] CC [CC...]
 //
-// Each positional argument is an ISO 3166-1 alpha-2 country code.
+// Each positional argument is an ISO 3166-1 alpha-2 country code. -v raises
+// the structured-log verbosity (0 info, 1 debug stage logs); -debug-addr
+// serves /metrics, /healthz, expvar, and pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"countryrank/internal/core"
 	"countryrank/internal/countries"
+	"countryrank/internal/obs"
 	"countryrank/internal/routing"
 	"countryrank/internal/topology"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("crank: ")
 	seed := flag.Int64("seed", 1, "world seed")
 	scale := flag.Float64("scale", 1, "stub-count scale factor")
 	vpscale := flag.Float64("vpscale", 1, "VP-count scale factor")
 	mrtDir := flag.String("mrt", "", "directory of MRT dumps from topogen (same seed/scale)")
 	metric := flag.String("metric", "all", "metric to print")
 	top := flag.Int("top", 10, "entries per ranking")
+	ofl := obs.Flags("crank")
 	flag.Parse()
+	ofl.Init()
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -46,9 +50,10 @@ func main() {
 		var err error
 		col, err = loadMRT(w, *mrtDir)
 		if err != nil {
-			log.Fatal(err)
+			slog.Error("MRT import failed", "dir", *mrtDir, "err", err)
+			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "loaded %d records from MRT dumps\n", len(col.Records))
+		slog.Info("loaded MRT dumps", "records", len(col.Records), "dir", *mrtDir)
 	} else {
 		col = routing.BuildCollection(w, routing.BuildOptions{})
 	}
@@ -57,7 +62,7 @@ func main() {
 	for _, arg := range flag.Args() {
 		c := countries.Code(strings.ToUpper(arg))
 		if !countries.Known(c) {
-			log.Printf("unknown country %q, skipping", arg)
+			slog.Warn("unknown country, skipping", "code", arg)
 			continue
 		}
 		fmt.Printf("== %s (%s)\n", c, countries.Name(c))
@@ -82,6 +87,7 @@ func main() {
 			fmt.Print(p.CTI(c).Render(*top))
 		}
 	}
+	ofl.Done()
 }
 
 // loadMRT imports every .mrt file in dir against the world's VP set.

@@ -4,14 +4,20 @@
 // Usage:
 //
 //	experiments [-seed N] [-scale F] [-vpscale F] [-trials N] [-quick] [-only LIST]
+//	            [-progress] [-v LEVEL] [-debug-addr HOST:PORT] [-debug-linger D]
 //
 // -quick runs a reduced world and fewer stability trials; -only selects a
-// comma-separated subset (e.g. -only table1,figure4,table10).
+// comma-separated subset (e.g. -only table1,figure4,table10). -progress
+// streams per-experiment start/finish lines (with wall time and stability
+// trial counts) to stderr and prints the stage tree at the end; -v raises
+// the structured-log verbosity (0 info, 1 debug stage logs); -debug-addr
+// serves /metrics, /healthz, expvar, and pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,6 +27,7 @@ import (
 	"countryrank/internal/countries"
 	"countryrank/internal/experiments"
 	"countryrank/internal/export"
+	"countryrank/internal/obs"
 	"countryrank/internal/topology"
 )
 
@@ -79,7 +86,10 @@ func main() {
 	quick := flag.Bool("quick", false, "small world, few trials")
 	only := flag.String("only", "", "comma-separated experiment subset")
 	artifacts := flag.String("artifacts", "", "directory for the shareable dataset (CSV)")
+	progress := flag.Bool("progress", false, "stream per-experiment start/finish lines to stderr")
+	ofl := obs.Flags("experiments")
 	flag.Parse()
+	ofl.Init()
 
 	if *quick {
 		*scale, *vpscale, *trials = 0.3, 0.4, 3
@@ -92,102 +102,171 @@ func main() {
 	}
 	run := func(name string) bool { return len(want) == 0 || want[name] }
 
+	// With -progress, every top-level span — each experiment plus the
+	// pipeline builds — streams a start line and a finish line carrying the
+	// wall time and the rolled-up stability-trial count of its children.
+	if *progress {
+		obs.DefaultTrace.OnStart = func(s *obs.Span) {
+			if s.Depth() == 0 {
+				fmt.Fprintf(os.Stderr, "[progress] %s started\n", s.Name)
+			}
+		}
+		obs.DefaultTrace.OnEnd = func(s *obs.Span) {
+			if s.Depth() != 0 {
+				return
+			}
+			if n, unit := s.TotalItems(); n > 0 {
+				fmt.Fprintf(os.Stderr, "[progress] %s done in %v (%d %s)\n",
+					s.Name, s.Duration().Round(time.Millisecond), n, unit)
+			} else {
+				fmt.Fprintf(os.Stderr, "[progress] %s done in %v\n",
+					s.Name, s.Duration().Round(time.Millisecond))
+			}
+		}
+	}
+
+	// timed wraps one experiment in a span so -progress, -v stage logs, and
+	// the final stage tree all see it.
+	timed := func(name string, f func()) {
+		sp := obs.StartSpan(name)
+		f()
+		sp.End()
+	}
+
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "building April 2021 pipeline (seed=%d scale=%.2f)...\n", *seed, *scale)
+	slog.Info("building April 2021 pipeline", "seed", *seed, "scale", *scale, "vpscale", *vpscale)
 	p21 := core.NewPipeline(core.Options{Seed: *seed, StubScale: *scale, VPScale: *vpscale})
-	fmt.Fprintf(os.Stderr, "pipeline ready in %v: %d accepted records\n", time.Since(start), p21.DS.Len())
+	slog.Info("pipeline ready", "elapsed", time.Since(start).Round(time.Millisecond), "accepted", p21.DS.Len())
 
 	section := func(s string) { fmt.Printf("\n================ %s\n", s) }
 
 	if run("table1") {
-		section("Table 1")
-		fmt.Print(experiments.RunTable1(p21).Render())
+		timed("table1", func() {
+			section("Table 1")
+			fmt.Print(experiments.RunTable1(p21).Render())
+		})
 	}
 	if run("table2") {
-		section("Table 2")
-		fmt.Print(experiments.RunTable2().Render())
+		timed("table2", func() {
+			section("Table 2")
+			fmt.Print(experiments.RunTable2().Render())
+		})
 	}
 	if run("table4") {
-		section("Tables 3 and 4")
-		fmt.Print(experiments.RunTable4(p21).Render())
+		timed("table4", func() {
+			section("Tables 3 and 4")
+			fmt.Print(experiments.RunTable4(p21).Render())
+		})
 	}
 	if run("figure4") {
-		section("Figure 4")
-		fmt.Print(experiments.RunFigure4(p21, *trials, *seed+100).Render())
+		timed("figure4", func() {
+			section("Figure 4")
+			fmt.Print(experiments.RunFigure4(p21, *trials, *seed+100).Render())
+		})
 	}
 	if run("figure5") {
-		section("Figure 5")
-		fmt.Print(experiments.RunFigure5(p21, *trials, *seed+200).Render())
+		timed("figure5", func() {
+			section("Figure 5")
+			fmt.Print(experiments.RunFigure5(p21, *trials, *seed+200).Render())
+		})
 	}
 	if run("casestudies") {
-		ccg, _ := p21.Global()
-		for _, c := range []countries.Code{"AU", "JP", "RU", "US"} {
-			section("Table 5–8: " + string(c))
-			fmt.Print(experiments.RunCaseStudy(p21, c, 2, ccg).Render())
-		}
+		timed("casestudies", func() {
+			ccg, _ := p21.Global()
+			for _, c := range []countries.Code{"AU", "JP", "RU", "US"} {
+				section("Table 5–8: " + string(c))
+				fmt.Print(experiments.RunCaseStudy(p21, c, 2, ccg).Render())
+			}
+		})
 	}
 	if run("table9") {
-		section("Table 9")
-		fmt.Print(experiments.RunTable9(p21, "AU").Render())
+		timed("table9", func() {
+			section("Table 9")
+			fmt.Print(experiments.RunTable9(p21, "AU").Render())
+		})
 	}
 
 	var p23 *core.Pipeline
 	need23 := run("table10") || run("table11")
 	if need23 {
-		fmt.Fprintln(os.Stderr, "building March 2023 pipeline...")
+		slog.Info("building March 2023 pipeline")
 		p23 = core.NewPipeline(core.Options{
 			Seed: *seed, Scenario: topology.Mar2023, StubScale: *scale, VPScale: *vpscale,
 		})
 	}
 	if run("table10") {
-		section("Table 10 (Russia 2021→2023)")
-		fmt.Print(experiments.RunTemporal(p21, p23, "RU").Render())
+		timed("table10", func() {
+			section("Table 10 (Russia 2021→2023)")
+			fmt.Print(experiments.RunTemporal(p21, p23, "RU").Render())
+		})
 	}
 	if run("table11") {
-		section("Table 11 (Taiwan 2021→2023)")
-		fmt.Print(experiments.RunTemporal(p21, p23, "TW").Render())
+		timed("table11", func() {
+			section("Table 11 (Taiwan 2021→2023)")
+			fmt.Print(experiments.RunTemporal(p21, p23, "TW").Render())
+		})
 	}
 	if run("table12") {
-		section("Table 12")
-		fmt.Print(experiments.RunTable12(p21).Render())
+		timed("table12", func() {
+			section("Table 12")
+			fmt.Print(experiments.RunTable12(p21).Render())
+		})
 	}
 	if run("figure7") {
-		section("Figure 7")
-		fmt.Print(experiments.RunFigure7(p21).Render())
+		timed("figure7", func() {
+			section("Figure 7")
+			fmt.Print(experiments.RunFigure7(p21).Render())
+		})
 	}
 	if run("figure8") {
-		section("Figure 8")
-		fmt.Print(experiments.RunFigure8(p21).Render())
+		timed("figure8", func() {
+			section("Figure 8")
+			fmt.Print(experiments.RunFigure8(p21).Render())
+		})
 	}
 	if run("figure9") {
-		section("Figure 9")
-		fmt.Print(experiments.RunFigure9(p21).Render())
+		timed("figure9", func() {
+			section("Figure 9")
+			fmt.Print(experiments.RunFigure9(p21).Render())
+		})
 	}
 	if run("figure10") {
-		section("Figure 10")
-		fmt.Print(experiments.RunFigure10(p21).Render())
+		timed("figure10", func() {
+			section("Figure 10")
+			fmt.Print(experiments.RunFigure10(p21).Render())
+		})
 	}
 	if run("table13") || run("table14") || run("table13_14") || len(want) == 0 {
-		section("Tables 13/14")
-		fmt.Print(experiments.RunTable13_14(p21).Render())
+		timed("table13_14", func() {
+			section("Tables 13/14")
+			fmt.Print(experiments.RunTable13_14(p21).Render())
+		})
 	}
 	if run("extensions") {
-		section("Extension: market concentration")
-		fmt.Print(experiments.RunConcentration(p21,
-			[]countries.Code{"AU", "JP", "RU", "US", "TW", "DE", "NL"}).Render())
-		section("Extension: dependence matrix")
-		fmt.Print(experiments.RunDependenceMatrix(p21, nil).Render())
-		section("Extension: resilience (backup paths)")
-		fmt.Print(experiments.RunResilience(p21, "JP", 3).Render())
-		section("Extension: inference validation")
-		fmt.Print(experiments.RunInferenceValidation(p21).Render())
+		timed("extensions", func() {
+			section("Extension: market concentration")
+			fmt.Print(experiments.RunConcentration(p21,
+				[]countries.Code{"AU", "JP", "RU", "US", "TW", "DE", "NL"}).Render())
+			section("Extension: dependence matrix")
+			fmt.Print(experiments.RunDependenceMatrix(p21, nil).Render())
+			section("Extension: resilience (backup paths)")
+			fmt.Print(experiments.RunResilience(p21, "JP", 3).Render())
+			section("Extension: inference validation")
+			fmt.Print(experiments.RunInferenceValidation(p21).Render())
+		})
 	}
 	if *artifacts != "" {
-		if err := writeArtifacts(p21, *artifacts); err != nil {
-			fmt.Fprintln(os.Stderr, "artifacts:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "artifacts written to %s\n", *artifacts)
+		timed("artifacts", func() {
+			if err := writeArtifacts(p21, *artifacts); err != nil {
+				slog.Error("artifacts failed", "dir", *artifacts, "err", err)
+				os.Exit(1)
+			}
+			slog.Info("artifacts written", "dir", *artifacts)
+		})
 	}
-	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start))
+	slog.Info("done", "elapsed", time.Since(start).Round(time.Millisecond))
+	if *progress {
+		fmt.Fprint(os.Stderr, "\nstage report:\n"+obs.DefaultTrace.Render())
+	}
+	ofl.Done()
 }

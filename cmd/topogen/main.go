@@ -7,28 +7,33 @@
 // Usage:
 //
 //	topogen [-seed N] [-scale F] [-vpscale F] [-scenario 20210401|20230301] -out DIR
+//	        [-v LEVEL] [-debug-addr HOST:PORT] [-debug-linger D]
+//
+// -v raises the structured-log verbosity (0 info, 1 debug stage logs);
+// -debug-addr serves /metrics, /healthz, expvar, and pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 
+	"countryrank/internal/obs"
 	"countryrank/internal/routing"
 	"countryrank/internal/topology"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("topogen: ")
 	seed := flag.Int64("seed", 1, "world seed")
 	scale := flag.Float64("scale", 1, "stub-count scale factor")
 	vpscale := flag.Float64("vpscale", 1, "VP-count scale factor")
 	scenario := flag.String("scenario", string(topology.Apr2021), "snapshot scenario")
 	out := flag.String("out", "", "output directory for MRT files (required)")
+	ofl := obs.Flags("topogen")
 	flag.Parse()
+	ofl.Init()
 	if *out == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -43,25 +48,31 @@ func main() {
 	col := routing.BuildCollection(w, routing.BuildOptions{})
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
+		slog.Error("create output directory", "dir", *out, "err", err)
+		os.Exit(1)
 	}
 	var files int
 	for _, c := range w.VPs.Collectors() {
 		path := filepath.Join(*out, c.Name+".mrt")
 		f, err := os.Create(path)
 		if err != nil {
-			log.Fatal(err)
+			slog.Error("create dump", "path", path, "err", err)
+			os.Exit(1)
 		}
 		if err := routing.ExportMRT(f, col, c.Name, 1617235200); err != nil {
-			log.Fatalf("export %s: %v", c.Name, err)
+			slog.Error("export failed", "collector", c.Name, "err", err)
+			os.Exit(1)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			slog.Error("close dump", "path", path, "err", err)
+			os.Exit(1)
 		}
+		slog.Debug("exported collector", "stage", "mrt-export", "collector", c.Name, "path", path)
 		files++
 	}
 	fmt.Printf("world: %d ASes, %d edges, %d prefixes, %d VPs\n",
 		w.Graph.NumASes(), w.Graph.NumEdges(), len(col.Prefixes), w.VPs.Len())
 	fmt.Printf("collection: %d records across %d collectors → %s\n",
 		len(col.Records), files, *out)
+	ofl.Done()
 }

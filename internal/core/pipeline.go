@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"slices"
 	"sync"
+	"time"
 
 	"countryrank/internal/asn"
 	"countryrank/internal/bgp"
@@ -21,6 +22,7 @@ import (
 	"countryrank/internal/hegemony"
 	"countryrank/internal/ihr"
 	"countryrank/internal/ndcg"
+	"countryrank/internal/obs"
 	"countryrank/internal/par"
 	"countryrank/internal/rank"
 	"countryrank/internal/relation"
@@ -28,6 +30,40 @@ import (
 	"countryrank/internal/sanitize"
 	"countryrank/internal/topology"
 )
+
+// Cache effectiveness counters and per-kernel duration histograms. The
+// cache counters fire once per ViewRecords / fullRankFor call; the kernel
+// histograms wrap whole kernel invocations (Country, Global, AHC, CTI) —
+// never the per-trial stability loop, whose cost the trials counter tracks
+// instead.
+var (
+	mViewHits = obs.NewCounter("countryrank_core_view_cache_hits_total",
+		"ViewRecords calls served from the per-(kind, country) cache")
+	mViewMisses = obs.NewCounter("countryrank_core_view_cache_misses_total",
+		"ViewRecords calls that computed a fresh view")
+	mRankHits = obs.NewCounter("countryrank_core_rank_cache_hits_total",
+		"full-view baseline rankings served from cache")
+	mRankMisses = obs.NewCounter("countryrank_core_rank_cache_misses_total",
+		"full-view baseline rankings computed fresh")
+	mTrials = obs.NewCounter("countryrank_core_stability_trials_total",
+		"stability downsampling trials executed")
+
+	mKernelCone = obs.NewHistogram("countryrank_core_kernel_cone_seconds",
+		"duration of one customer-cone kernel run", nil)
+	mKernelHegemony = obs.NewHistogram("countryrank_core_kernel_hegemony_seconds",
+		"duration of one AS-hegemony kernel run", nil)
+	mKernelCTI = obs.NewHistogram("countryrank_core_kernel_cti_seconds",
+		"duration of one country transit influence kernel run", nil)
+	mKernelIHR = obs.NewHistogram("countryrank_core_kernel_ihr_seconds",
+		"duration of one IHR country-hegemony kernel run", nil)
+)
+
+// timeKernel starts a kernel stopwatch; invoke the returned func to record
+// the elapsed time, e.g. defer timeKernel(mKernelCone)().
+func timeKernel(h *obs.Histogram) func() {
+	start := time.Now()
+	return func() { h.Observe(time.Since(start)) }
+}
 
 // Sentinels for the Options fields whose useful ablation value collides
 // with the zero value. The zero value of Options must keep reproducing the
@@ -143,7 +179,10 @@ type rankKey struct {
 
 // NewPipeline builds the synthetic world for the options and processes it.
 func NewPipeline(opt Options) *Pipeline {
+	sp := obs.StartSpan("pipeline")
+	defer sp.End()
 	opt = opt.withDefaults()
+	ts := sp.Child("topology")
 	w := topology.Build(topology.Config{
 		Seed:      opt.Seed,
 		Scenario:  opt.Scenario,
@@ -151,28 +190,39 @@ func NewPipeline(opt Options) *Pipeline {
 		VPScale:   opt.VPScale,
 		IPv6:      opt.IPv6,
 	})
+	ts.End()
+	ps := sp.Child("propagation")
 	col := routing.BuildCollection(w, opt.Routing)
-	return process(w, col, opt)
+	ps.AddItems(int64(len(col.Records)), "records")
+	ps.End()
+	return process(w, col, opt, sp)
 }
 
 // NewPipelineFrom processes an existing world and collection (e.g. one
 // imported from MRT dumps).
 func NewPipelineFrom(w *topology.World, col *routing.Collection, opt Options) *Pipeline {
-	return process(w, col, opt.withDefaults())
+	sp := obs.StartSpan("pipeline")
+	defer sp.End()
+	return process(w, col, opt.withDefaults(), sp)
 }
 
-func process(w *topology.World, col *routing.Collection, opt Options) *Pipeline {
+func process(w *topology.World, col *routing.Collection, opt Options, sp *obs.Span) *Pipeline {
+	gs := sp.Child("geolocate")
 	geoTable := geoloc.GeolocatePrefixes(w.Geo, col.AnnouncedPrefixes(), opt.Threshold)
+	gs.End()
 	clique := map[asn.ASN]bool{}
 	for _, a := range w.Clique {
 		clique[a] = true
 	}
+	ss := sp.Child("sanitize")
 	ds := sanitize.Run(col, sanitize.Config{
 		Clique:       clique,
 		Registry:     w.Graph.Registry(),
 		RouteServers: w.Graph.RouteServers(),
 		GeoTable:     geoTable,
 	})
+	ss.AddItems(int64(ds.Len()), "accepted")
+	ss.End()
 	p := &Pipeline{
 		Opt:             opt,
 		World:           w,
@@ -186,6 +236,7 @@ func process(w *topology.World, col *routing.Collection, opt Options) *Pipeline 
 		rankCache:       map[rankKey]*rank.Ranking{},
 	}
 	if opt.InferRelationships {
+		is := sp.Child("infer-relationships")
 		seen := map[string]bool{}
 		var paths []bgp.Path
 		for i := 0; i < ds.Len(); i++ {
@@ -198,7 +249,9 @@ func process(w *topology.World, col *routing.Collection, opt Options) *Pipeline 
 		}
 		p.Inferred = relation.Infer(paths, relation.InferClique(paths, 25))
 		p.Rels = p.Inferred
+		is.End()
 	}
+	xs := sp.Child("index")
 	p.byVP = make([][]int32, len(ds.VPCountry))
 	for i := 0; i < ds.Len(); i++ {
 		vpIdx, pfxIdx, _ := ds.Record(i)
@@ -211,8 +264,11 @@ func process(w *topology.World, col *routing.Collection, opt Options) *Pipeline 
 			p.vpsByCountry[c] = append(p.vpsByCountry[c], int32(v))
 		}
 	}
+	xs.End()
+	cs := sp.Child("precompute")
 	p.coneStarts = cone.Starts(ds, p.Rels)
 	p.ctiDepths = cti.Depths(ds, p.Rels)
+	cs.End()
 	return p
 }
 
@@ -258,8 +314,10 @@ func (p *Pipeline) ViewRecords(kind ViewKind, country countries.Code) []int32 {
 	out, ok := p.viewCache[k]
 	p.viewMu.RUnlock()
 	if ok {
+		mViewHits.Inc()
 		return out
 	}
+	mViewMisses.Inc()
 	out = p.computeView(kind, country)
 	p.viewMu.Lock()
 	if prior, ok := p.viewCache[k]; ok {
@@ -370,10 +428,10 @@ func (p *Pipeline) Country(c countries.Code) *CountryRankings {
 	var coneI, coneN cone.Scores
 	var ahI, ahN hegemony.Scores
 	par.Do(
-		func() { coneI = cone.ComputeFrom(p.DS, intl, p.Rels, p.coneStarts) },
-		func() { coneN = cone.ComputeFrom(p.DS, natl, p.Rels, p.coneStarts) },
-		func() { ahI = hegemony.Compute(p.DS, intl, p.Opt.Trim) },
-		func() { ahN = hegemony.Compute(p.DS, natl, p.Opt.Trim) },
+		func() { defer timeKernel(mKernelCone)(); coneI = cone.ComputeFrom(p.DS, intl, p.Rels, p.coneStarts) },
+		func() { defer timeKernel(mKernelCone)(); coneN = cone.ComputeFrom(p.DS, natl, p.Rels, p.coneStarts) },
+		func() { defer timeKernel(mKernelHegemony)(); ahI = hegemony.Compute(p.DS, intl, p.Opt.Trim) },
+		func() { defer timeKernel(mKernelHegemony)(); ahN = hegemony.Compute(p.DS, natl, p.Opt.Trim) },
 	)
 
 	return &CountryRankings{
@@ -391,8 +449,12 @@ func (p *Pipeline) Country(c countries.Code) *CountryRankings {
 // global hegemony (AHG, IHR's metric) over all accepted records.
 func (p *Pipeline) Global() (ccg, ahg *rank.Ranking) {
 	info := p.Info()
+	doneC := timeKernel(mKernelCone)
 	cs := cone.ComputeFrom(p.DS, nil, p.Rels, p.coneStarts)
+	doneC()
+	doneH := timeKernel(mKernelHegemony)
 	hs := hegemony.Compute(p.DS, nil, p.Opt.Trim)
+	doneH()
 	return rank.New(string(CCG), cs.Shares(), info, true),
 		rank.New(string(AHG), hs.Hegemony, info, true)
 }
@@ -411,8 +473,12 @@ type OutboundRankings struct {
 func (p *Pipeline) Outbound(c countries.Code) *OutboundRankings {
 	recs := p.ViewRecords(Outbound, c)
 	info := p.Info()
+	doneC := timeKernel(mKernelCone)
 	cs := cone.ComputeFrom(p.DS, recs, p.Rels, p.coneStarts)
+	doneC()
+	doneH := timeKernel(mKernelHegemony)
 	hs := hegemony.Compute(p.DS, recs, p.Opt.Trim)
+	doneH()
 	return &OutboundRankings{
 		Country: c,
 		CCO:     rank.New("CCO "+string(c), cs.Shares(), info, true),
@@ -422,6 +488,7 @@ func (p *Pipeline) Outbound(c countries.Code) *OutboundRankings {
 
 // AHC computes the IHR country-level baseline for c.
 func (p *Pipeline) AHC(c countries.Code) *rank.Ranking {
+	defer timeKernel(mKernelIHR)()
 	s := ihr.Compute(p.DS, p.World.Graph, c, p.Opt.Trim)
 	return rank.New(string(AHC)+" "+string(c), s.AHC, p.Info(), true)
 }
@@ -430,6 +497,7 @@ func (p *Pipeline) AHC(c countries.Code) *rank.Ranking {
 // international view.
 func (p *Pipeline) CTI(c countries.Code) *rank.Ranking {
 	recs := p.ViewRecords(International, c)
+	defer timeKernel(mKernelCTI)()
 	s := cti.ComputeFrom(p.DS, recs, p.Rels, p.ctiDepths, p.Opt.Trim)
 	return rank.New(string(CTI)+" "+string(c), s.CTI, p.Info(), true)
 }
@@ -507,8 +575,10 @@ func (p *Pipeline) fullRankFor(m Metric, c countries.Code, full []int32) *rank.R
 	r, ok := p.rankCache[k]
 	p.rankMu.RUnlock()
 	if ok {
+		mRankHits.Inc()
 		return r
 	}
+	mRankMisses.Inc()
 	r = p.rankFor(m, full)
 	p.rankMu.Lock()
 	if prior, ok := p.rankCache[k]; ok {
@@ -552,6 +622,9 @@ type StabilityPoint struct {
 // per-size means sum in trial order, so the output depends only on seed —
 // never on scheduling.
 func (p *Pipeline) Stability(m Metric, c countries.Code, sizes []int, trials int, seed int64) []StabilityPoint {
+	sp := obs.StartSpan("stability " + string(m) + " " + string(c))
+	sp.AddItems(0, "trials")
+	defer sp.End()
 	kind := viewKindOf(m)
 	full := p.ViewRecords(kind, c)
 	fullRank := p.fullRankFor(m, c, full)
@@ -628,6 +701,8 @@ func (p *Pipeline) Stability(m Metric, c countries.Code, sizes []int, trials int
 			tau:   ndcg.KendallTau(top, fullOrder, ndcg.DefaultK),
 			jac:   ndcg.Jaccard(top, fullOrder, ndcg.DefaultK),
 		}
+		mTrials.Inc()
+		sp.AddItems(1, "")
 	})
 
 	var out []StabilityPoint

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+	"time"
+)
+
+// CmdFlags is the observability flag set every cmd shares: structured-log
+// verbosity, the opt-in debug server, and a linger window that keeps the
+// process (and its /metrics endpoint) alive after the work finishes so CI
+// smoke tests and humans can scrape a completed run.
+type CmdFlags struct {
+	cmd       string
+	Verbosity *int
+	DebugAddr *string
+	Linger    *time.Duration
+}
+
+// Flags registers -v, -debug-addr, and -debug-linger on the default flag
+// set. Call before flag.Parse, then Init after it.
+func Flags(cmd string) *CmdFlags {
+	return &CmdFlags{
+		cmd:       cmd,
+		Verbosity: flag.Int("v", 0, "log verbosity: 0 info, 1 debug stage logs"),
+		DebugAddr: flag.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this host:port"),
+		Linger:    flag.Duration("debug-linger", 0, "keep the debug server up this long after finishing (requires -debug-addr)"),
+	}
+}
+
+// Init installs the slog default logger at the requested verbosity and, when
+// -debug-addr was given, starts the debug server. Call right after
+// flag.Parse.
+func (f *CmdFlags) Init() {
+	level := slog.LevelInfo
+	if *f.Verbosity >= 1 {
+		level = slog.LevelDebug
+	}
+	h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	slog.SetDefault(slog.New(h).With("cmd", f.cmd))
+	if *f.DebugAddr != "" {
+		addr, err := ServeDebug(*f.DebugAddr)
+		if err != nil {
+			slog.Error("debug server failed", "err", err)
+			os.Exit(1)
+		}
+		slog.Info("debug server listening", "addr", addr)
+	}
+}
+
+// Done blocks for the -debug-linger window (a no-op without -debug-addr or
+// with a zero linger). Call it at the end of main, after the run's output.
+func (f *CmdFlags) Done() {
+	if *f.DebugAddr == "" || *f.Linger <= 0 {
+		return
+	}
+	slog.Info("lingering for scrapes", "for", *f.Linger)
+	time.Sleep(*f.Linger)
+}

@@ -9,6 +9,17 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"countryrank/internal/obs"
+)
+
+var (
+	mLoops = obs.NewCounter("countryrank_par_loops_total",
+		"fork-join fan-outs executed (ForEach and Do calls)")
+	mTasks = obs.NewCounter("countryrank_par_tasks_total",
+		"individual tasks executed by the worker pool")
+	mBusy = obs.NewGauge("countryrank_par_workers_busy",
+		"worker goroutines currently executing tasks")
 )
 
 // ForEach runs fn(i) for every i in [0, n), distributing the calls over at
@@ -19,14 +30,18 @@ func ForEach(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	mLoops.Inc()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		mBusy.Add(1)
 		for i := 0; i < n; i++ {
 			fn(i)
+			mTasks.Inc()
 		}
+		mBusy.Add(-1)
 		return
 	}
 	var next atomic.Int64
@@ -35,12 +50,15 @@ func ForEach(n int, fn func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			mBusy.Add(1)
+			defer mBusy.Add(-1)
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(n) {
 					return
 				}
 				fn(int(i))
+				mTasks.Inc()
 			}
 		}()
 	}

@@ -7,11 +7,22 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"countryrank/internal/asn"
 	"countryrank/internal/bgp"
+	"countryrank/internal/obs"
 	"countryrank/internal/topology"
 	"countryrank/internal/vp"
+)
+
+var (
+	mPathsPropagated = obs.NewCounter("countryrank_routing_paths_propagated_total",
+		"best paths exported by vantage points during route propagation")
+	mRecordsBuilt = obs.NewCounter("countryrank_routing_records_built_total",
+		"(VP, prefix, path) records assembled into collections")
+	mPropagateSeconds = obs.NewHistogram("countryrank_routing_propagate_seconds",
+		"duration of one full-collection route propagation", nil)
 )
 
 // Record is one observed (vantage point, prefix, AS path) triple: the unit
@@ -91,6 +102,7 @@ func (o BuildOptions) withDefaults(w *topology.World) BuildOptions {
 // real-world dirt (loops, poisoned paths, unallocated ASNs, day-to-day
 // instability) the sanitizer must handle.
 func BuildCollection(w *topology.World, opt BuildOptions) *Collection {
+	start := time.Now()
 	opt = opt.withDefaults(w)
 	g := w.Graph
 	rng := rand.New(rand.NewSource(opt.Seed))
@@ -227,6 +239,9 @@ func BuildCollection(w *topology.World, opt BuildOptions) *Collection {
 	}
 
 	col.injectAnomalies(rng, opt)
+	mPathsPropagated.Add(int64(nPaths))
+	mRecordsBuilt.Add(int64(len(col.Records)))
+	mPropagateSeconds.Observe(time.Since(start))
 	return col
 }
 

@@ -8,9 +8,51 @@ import (
 	"countryrank/internal/asn"
 	"countryrank/internal/bgp"
 	"countryrank/internal/mrt"
+	"countryrank/internal/obs"
 	"countryrank/internal/par"
 	"countryrank/internal/topology"
 )
+
+// The MRT data-plane counters: stream volume in both directions plus the
+// decode rejections that would otherwise vanish silently (unknown peers,
+// malformed records). Each is bulk-added once per stream or export, never
+// inside the per-record hot loop.
+var (
+	mMRTRecordsIn = obs.NewCounter("countryrank_routing_mrt_records_in_total",
+		"RIB entries imported from MRT streams")
+	mMRTBytesIn = obs.NewCounter("countryrank_routing_mrt_bytes_in_total",
+		"bytes read from MRT streams")
+	mMRTRecordsOut = obs.NewCounter("countryrank_routing_mrt_records_out_total",
+		"RIB entries and updates written to MRT streams")
+	mMRTBytesOut = obs.NewCounter("countryrank_routing_mrt_bytes_out_total",
+		"bytes written to MRT streams")
+	mMRTRejects = obs.NewCounter("countryrank_routing_mrt_decode_rejects_total",
+		"MRT entries rejected during import (unknown peers, malformed records)")
+)
+
+// countingReader tracks bytes consumed from an MRT stream.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// countingWriter tracks bytes emitted to an MRT stream.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
 
 // countingScatter stably distributes src into dst grouped by ascending
 // key(v), with nKeys bounding the key space. Two chained passes implement an
@@ -55,7 +97,8 @@ func ExportMRT(w io.Writer, c *Collection, collector string, timestamp uint32) e
 		peers = append(peers, mrt.Peer{BGPID: v.Addr, Addr: v.Addr, AS: v.AS})
 	}
 
-	mw := mrt.NewWriter(w, timestamp)
+	cw := &countingWriter{w: w}
+	mw := mrt.NewWriter(cw, timestamp)
 	if err := mw.WritePeerIndexTable(coll.ID, collector, peers); err != nil {
 		return err
 	}
@@ -114,7 +157,12 @@ func ExportMRT(w io.Writer, c *Collection, collector string, timestamp uint32) e
 		}
 		s = e
 	}
-	return mw.Flush()
+	if err := mw.Flush(); err != nil {
+		return err
+	}
+	mMRTRecordsOut.Add(int64(len(keep)))
+	mMRTBytesOut.Add(cw.n)
+	return nil
 }
 
 // ExportUpdatesMRT writes the BGP4MP update stream one collector would have
@@ -132,7 +180,8 @@ func ExportUpdatesMRT(w io.Writer, c *Collection, collector string, day int, tim
 		return fmt.Errorf("routing: unknown collector %q", collector)
 	}
 
-	mw := mrt.NewWriter(w, timestamp)
+	cw := &countingWriter{w: w}
+	mw := mrt.NewWriter(cw, timestamp)
 	collectorIP := netip.AddrFrom4([4]byte{192, 0, 2, 1})
 
 	// One stable counting pass groups the collector's records by ascending
@@ -147,6 +196,7 @@ func ExportUpdatesMRT(w io.Writer, c *Collection, collector string, day int, tim
 	countingScatter(keep, order, set.Len(), func(ri int32) int32 { return c.Records[ri].VP })
 
 	var raw []byte
+	var nOut int64
 	for _, ri := range order {
 		r := c.Records[ri]
 		v := set.VP(int(r.VP))
@@ -183,8 +233,14 @@ func ExportUpdatesMRT(w io.Writer, c *Collection, collector string, day int, tim
 		if err := mw.WriteBGP4MP(v.AS, 6447, v.Addr, collectorIP, raw); err != nil {
 			return err
 		}
+		nOut++
 	}
-	return mw.Flush()
+	if err := mw.Flush(); err != nil {
+		return err
+	}
+	mMRTRecordsOut.Add(nOut)
+	mMRTBytesOut.Add(cw.n)
+	return nil
 }
 
 // importStream is the per-stream partial of a parallel ImportMRT. Records
@@ -199,12 +255,18 @@ type importStream struct {
 	originSet []bool
 	records   []Record
 	paths     []bgp.Path
-	err       error
+	// rejects counts entries dropped during decode (unknown peers, bad peer
+	// indexes); bytes is the stream's wire size. Both fold into the obs
+	// counters once per stream during the merge.
+	rejects int64
+	bytes   int64
+	err     error
 }
 
-func importOneStream(stream io.Reader, byAddr map[netip.Addr]int32) importStream {
-	var out importStream
-	r := mrt.NewReader(stream)
+func importOneStream(stream io.Reader, byAddr map[netip.Addr]int32) (out importStream) {
+	cr := &countingReader{r: stream}
+	defer func() { out.bytes = cr.n }()
+	r := mrt.NewReader(cr)
 	prefixIdx := map[netip.Prefix]int32{}
 	// vpOf resolves a stream peer index to the world VP index (-1 unknown);
 	// it is built once per peer table so the hot loop never hashes peering
@@ -222,6 +284,7 @@ func importOneStream(stream io.Reader, byAddr map[netip.Addr]int32) importStream
 			return out
 		}
 		if err != nil {
+			out.rejects++
 			out.err = err
 			return out
 		}
@@ -253,11 +316,13 @@ func importOneStream(stream io.Reader, byAddr map[netip.Addr]int32) importStream
 		}
 		for _, e := range rib.Entries {
 			if int(e.PeerIndex) >= len(vpOf) {
+				out.rejects++
 				out.err = fmt.Errorf("routing: peer index %d out of range", e.PeerIndex)
 				return out
 			}
 			vpIdx := vpOf[e.PeerIndex]
 			if vpIdx < 0 {
+				out.rejects++
 				continue
 			}
 			flat = e.Attrs.ASPath.AppendFlat(flat[:0])
@@ -291,6 +356,9 @@ func importOneStream(stream io.Reader, byAddr map[netip.Addr]int32) importStream
 // tracked explicitly so an AS0 origin is preserved rather than overwritten.
 // Stability defaults to true for every prefix (MRT carries a single day).
 func ImportMRT(w *topology.World, streams []io.Reader) (*Collection, error) {
+	sp := obs.StartSpan("mrt-import")
+	sp.AddItems(0, "records")
+	defer sp.End()
 	set := w.VPs
 	byAddr := map[netip.Addr]int32{}
 	for i := 0; i < set.Len(); i++ {
@@ -302,8 +370,13 @@ func ImportMRT(w *topology.World, streams []io.Reader) (*Collection, error) {
 		parts[si] = importOneStream(streams[si], byAddr)
 	})
 	for si := range parts {
-		if parts[si].err != nil {
-			return nil, parts[si].err
+		p := &parts[si]
+		mMRTBytesIn.Add(p.bytes)
+		mMRTRecordsIn.Add(int64(len(p.records)))
+		mMRTRejects.Add(p.rejects)
+		sp.AddItems(int64(len(p.records)), "")
+		if p.err != nil {
+			return nil, p.err
 		}
 	}
 

@@ -11,14 +11,48 @@ import (
 	"net/netip"
 	"sort"
 	"strings"
+	"time"
 
 	"countryrank/internal/asn"
 	"countryrank/internal/bgp"
 	"countryrank/internal/countries"
 	"countryrank/internal/geoloc"
 	"countryrank/internal/netx"
+	"countryrank/internal/obs"
 	"countryrank/internal/routing"
 )
+
+// The Table-1 accounting, mirrored as monotonic counters so a scrape shows
+// the same per-Reason drop profile Stats renders. Indexed by Reason.
+var mByReason = [numReasons]*obs.Counter{
+	Accepted:         obs.NewCounter("countryrank_sanitize_accepted_total", "records accepted by the sanitizer"),
+	Unstable:         obs.NewCounter("countryrank_sanitize_dropped_unstable_total", "records dropped: prefix missing from >=1 daily RIB"),
+	Unallocated:      obs.NewCounter("countryrank_sanitize_dropped_unallocated_total", "records dropped: path contains an unallocated ASN"),
+	Loop:             obs.NewCounter("countryrank_sanitize_dropped_loop_total", "records dropped: non-adjacent duplicate ASNs in path"),
+	Poisoned:         obs.NewCounter("countryrank_sanitize_dropped_poisoned_total", "records dropped: poisoned path signature"),
+	VPNoLocation:     obs.NewCounter("countryrank_sanitize_dropped_vp_no_location_total", "records dropped: vantage point unlocatable"),
+	PrefixNoLocation: obs.NewCounter("countryrank_sanitize_dropped_prefix_no_location_total", "records dropped: prefix geolocated to no or multiple countries"),
+}
+
+var (
+	mRecords = obs.NewCounter("countryrank_sanitize_records_total",
+		"records examined by the sanitizer")
+	mRejected = obs.NewCounter("countryrank_sanitize_rejected_total",
+		"records rejected by the sanitizer, all reasons")
+	mRunSeconds = obs.NewHistogram("countryrank_sanitize_run_seconds",
+		"duration of one sanitizer pass over a collection", nil)
+)
+
+// observe publishes one pass's accounting to the registry: a handful of
+// bulk atomic adds after the filtering loop, nothing per record.
+func (s Stats) observe(elapsed time.Duration) {
+	mRecords.Add(int64(s.Total))
+	mRejected.Add(int64(s.Rejected()))
+	for r, c := range mByReason {
+		c.Add(int64(s.Counts[r]))
+	}
+	mRunSeconds.Observe(elapsed)
+}
 
 // Reason classifies a record's filtering outcome, mirroring Table 1's rows.
 type Reason uint8
@@ -79,15 +113,22 @@ func (s Stats) Pct(r Reason) float64 {
 	return 100 * float64(s.Counts[r]) / float64(s.Total)
 }
 
-// Render formats the stats as the paper's Table 1.
+// Render formats the stats as the paper's Table 1. An empty accounting
+// (Total == 0) renders every percentage as 0 — without the guard the
+// "rejected" and "total" rows would claim 100% of zero records.
 func (s Stats) Render() string {
+	rejectedPct, totalPct := 0.0, 0.0
+	if s.Total > 0 {
+		rejectedPct = 100 - s.Pct(Accepted)
+		totalPct = 100.0
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-22s %12d %7.2f%%\n", "rejected", s.Rejected(), 100-s.Pct(Accepted))
+	fmt.Fprintf(&b, "%-22s %12d %7.2f%%\n", "rejected", s.Rejected(), rejectedPct)
 	for _, r := range []Reason{Unstable, Unallocated, Loop, Poisoned, VPNoLocation, PrefixNoLocation} {
 		fmt.Fprintf(&b, "  %-20s %12d %7.2f%%\n", r.String(), s.Counts[r], s.Pct(r))
 	}
 	fmt.Fprintf(&b, "%-22s %12d %7.2f%%\n", "accepted", s.Counts[Accepted], s.Pct(Accepted))
-	fmt.Fprintf(&b, "%-22s %12d %7.2f%%\n", "total", s.Total, 100.0)
+	fmt.Fprintf(&b, "%-22s %12d %7.2f%%\n", "total", s.Total, totalPct)
 	return b.String()
 }
 
@@ -160,6 +201,7 @@ func NewDataset(col *routing.Collection, vpCountry, prefixCountry []countries.Co
 
 // Run sanitizes the collection.
 func Run(col *routing.Collection, cfg Config) *Dataset {
+	start := time.Now()
 	ds := &Dataset{
 		Col:           col,
 		VPCountry:     make([]countries.Code, col.World.VPs.Len()),
@@ -212,6 +254,7 @@ func Run(col *routing.Collection, cfg Config) *Dataset {
 		}
 	}
 	ds.buildInterner()
+	ds.Stats.observe(time.Since(start))
 	return ds
 }
 

@@ -1,6 +1,7 @@
 package sanitize
 
 import (
+	"strings"
 	"testing"
 
 	"countryrank/internal/asn"
@@ -170,6 +171,38 @@ func TestCountriesWithPrefixes(t *testing.T) {
 	for _, c := range []string{"US", "AU", "JP", "RU", "TW"} {
 		if !found[c] {
 			t.Errorf("case-study country %s missing", c)
+		}
+	}
+}
+
+// TestRenderEmptyStats is a regression test: with Total == 0 the "rejected"
+// row used to print 100.00% (100 - Pct(Accepted) with Pct returning 0) and
+// the "total" row claimed 100.00% of zero records. Every percentage in an
+// empty accounting must render as 0.00%.
+func TestRenderEmptyStats(t *testing.T) {
+	out := Stats{}.Render()
+	if strings.Contains(out, "100.00%") {
+		t.Fatalf("empty stats render a 100%% row:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !strings.HasSuffix(line, "0    0.00%") {
+			t.Errorf("empty-stats row not zeroed: %q", line)
+		}
+	}
+}
+
+// TestRenderPercentages pins the non-empty case the fix must not disturb.
+func TestRenderPercentages(t *testing.T) {
+	var s Stats
+	s.Counts[Accepted] = 75
+	s.Counts[Loop] = 25
+	s.Total = 100
+	out := s.Render()
+	for _, want := range []string{
+		"rejected", "25.00%", "75.00%", "100.00%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
 		}
 	}
 }

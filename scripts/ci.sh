@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# CI gate: vet, build, race-enabled tests, and a one-iteration benchmark
-# smoke run so the perf path (dense kernels + parallel stability) is
-# exercised under the race detector's shadow on every change.
+# CI gate: formatting, vet, build, race-enabled tests, a one-iteration
+# benchmark smoke run so the perf path (dense kernels + parallel stability)
+# is exercised under the race detector's shadow, and an observability smoke
+# test that scrapes a live /metrics endpoint after a real pipeline run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo '--- gofmt'
+unformatted=$(gofmt -l ./cmd ./internal ./*.go)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo '--- go vet'
 go vet ./...
@@ -19,5 +28,53 @@ go test -run '^$' -bench Figure4 -benchtime 1x .
 
 echo '--- fuzz smoke (MRT reader, 10s)'
 go test -run '^$' -fuzz FuzzReaderNext -fuzztime 10s ./internal/mrt
+
+echo '--- obs smoke (asrank -debug-addr, scrape /healthz and /metrics)'
+# Run a small asrank with the debug server up and -debug-linger holding it
+# alive after the run, then assert the endpoints answer and the sanitize /
+# kernel instrumentation actually moved during the run.
+obs_port=$((20000 + RANDOM % 20000))
+obs_dir=$(mktemp -d)
+obs_log="$obs_dir/asrank.log"
+obs_metrics="$obs_dir/metrics.txt"
+go build -o "$obs_dir/asrank" ./cmd/asrank
+"$obs_dir/asrank" -scale 0.15 -vpscale 0.2 -top 3 \
+    -debug-addr "127.0.0.1:$obs_port" -debug-linger 60s >"$obs_log" 2>&1 &
+obs_pid=$!
+trap 'kill "$obs_pid" 2>/dev/null || true; rm -rf "$obs_dir"' EXIT
+
+# The debug server answers as soon as the process starts, before the
+# pipeline has run, so poll /metrics until the final stage of the run (the
+# hegemony kernel) has reported, then take the scrape.
+for _ in $(seq 1 120); do
+    if ! kill -0 "$obs_pid" 2>/dev/null; then
+        echo "asrank exited before it could be scraped:" >&2
+        cat "$obs_log" >&2
+        exit 1
+    fi
+    if curl -fsS "http://127.0.0.1:$obs_port/metrics" 2>/dev/null |
+        awk '$1 == "countryrank_core_kernel_hegemony_seconds_count" && $2 + 0 > 0 { found = 1 } END { exit !found }'; then
+        break
+    fi
+    sleep 1
+done
+curl -fsS "http://127.0.0.1:$obs_port/healthz" | grep -q ok
+curl -fsS "http://127.0.0.1:$obs_port/metrics" >"$obs_metrics"
+
+require_nonzero() {
+    # require_nonzero METRIC: the series must exist with a value > 0.
+    if ! awk -v m="$1" '$1 == m && $2 + 0 > 0 { found = 1 } END { exit !found }' "$obs_metrics"; then
+        echo "metric $1 missing or zero in /metrics:" >&2
+        grep -E "^$1" "$obs_metrics" >&2 || true
+        exit 1
+    fi
+}
+require_nonzero countryrank_sanitize_records_total
+require_nonzero countryrank_sanitize_accepted_total
+require_nonzero countryrank_routing_paths_propagated_total
+require_nonzero countryrank_core_kernel_cone_seconds_count
+require_nonzero countryrank_core_kernel_hegemony_seconds_count
+kill "$obs_pid" 2>/dev/null || true
+wait "$obs_pid" 2>/dev/null || true
 
 echo 'CI OK'
