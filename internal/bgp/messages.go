@@ -145,6 +145,11 @@ const (
 	NotifCease              = 6
 )
 
+// OPEN Message Error subcodes (RFC 4271 §6.2).
+const (
+	OpenUnacceptableHoldTime = 6
+)
+
 // Error implements error so a Notification can terminate a session.
 func (n *Notification) Error() string {
 	return fmt.Sprintf("bgp: notification code %d subcode %d", n.Code, n.Subcode)

@@ -1,0 +1,178 @@
+package bgpsession
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"runtime"
+	"testing"
+	"time"
+
+	"countryrank/internal/bgp"
+	"countryrank/internal/faultnet"
+)
+
+// checkNoLeak snapshots the goroutine count and fails the test if it has not
+// returned to the baseline shortly after the test body finishes: the clean
+// teardown guarantee every Establish failure path must uphold.
+func checkNoLeak(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<16)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutines leaked: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+	})
+}
+
+// TestUnacceptableHoldTimeRejected enforces RFC 4271 §6.2: a peer OPEN
+// advertising a 1- or 2-second hold time gets an unacceptable-hold-time
+// NOTIFICATION instead of being silently negotiated. The offending OPEN is
+// hand-crafted, since Establish itself never puts 1 or 2 on the wire.
+func TestUnacceptableHoldTimeRejected(t *testing.T) {
+	checkNoLeak(t)
+	for _, holdSecs := range []uint16{1, 2} {
+		c1, c2 := net.Pipe()
+		done := make(chan error, 1)
+		go func() {
+			_, err := Establish(c1, cfg(6447, "10.0.0.2"))
+			done <- err
+		}()
+		// Drain the good side's OPEN, then send the unacceptable one.
+		var buf []byte
+		tmp := make([]byte, 4096)
+		c2.SetDeadline(time.Now().Add(2 * time.Second))
+		for {
+			msg, n, _ := bgp.ReadMessage(buf)
+			if msg != nil && msg.Type == bgp.TypeOpen {
+				buf = buf[n:]
+				break
+			}
+			rn, err := c2.Read(tmp)
+			if err != nil {
+				t.Fatalf("hold %d: reading peer OPEN: %v", holdSecs, err)
+			}
+			buf = append(buf, tmp[:rn]...)
+		}
+		open := bgp.Open{AS: 100001, HoldTime: holdSecs, BGPID: netip.MustParseAddr("10.0.0.1")}
+		raw, err := open.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c2.Write(raw); err != nil {
+			t.Fatalf("hold %d: sending bad OPEN: %v", holdSecs, err)
+		}
+		// The NOTIFICATION must reach the offending peer. Read it before
+		// joining Establish: net.Pipe is unbuffered, so the rejection write
+		// needs this reader.
+		for {
+			msg, n, merr := bgp.ReadMessage(buf)
+			if merr != nil {
+				t.Fatalf("hold %d: parsing rejection: %v", holdSecs, merr)
+			}
+			if msg != nil {
+				if msg.Type != bgp.TypeNotification ||
+					msg.Notification.Subcode != bgp.OpenUnacceptableHoldTime {
+					t.Fatalf("hold %d: got message type %d, want the rejection", holdSecs, msg.Type)
+				}
+				_ = n
+				break
+			}
+			rn, err := c2.Read(tmp)
+			if err != nil {
+				t.Fatalf("hold %d: reading rejection: %v", holdSecs, err)
+			}
+			buf = append(buf, tmp[:rn]...)
+		}
+		// And the collector side must have failed with subcode 6.
+		var notif *bgp.Notification
+		if err := <-done; !errors.As(err, &notif) || notif.Code != bgp.NotifOpenError ||
+			notif.Subcode != bgp.OpenUnacceptableHoldTime {
+			t.Fatalf("hold %d: err = %v, want OPEN error subcode %d",
+				holdSecs, err, bgp.OpenUnacceptableHoldTime)
+		}
+		c2.Close()
+	}
+}
+
+// TestHoldTimeThreeSecondsAccepted pins the boundary: 3 seconds is the
+// smallest acceptable nonzero hold time.
+func TestHoldTimeThreeSecondsAccepted(t *testing.T) {
+	checkNoLeak(t)
+	s1, s2 := pipePair(t, cfg(100001, "10.0.0.1"), cfg(6447, "10.0.0.2"))
+	if s1.HoldTime() != 3*time.Second {
+		t.Fatalf("hold = %v, want 3s", s1.HoldTime())
+	}
+	s1.Close()
+	s2.Close()
+}
+
+// TestEstablishGarbageOpen injects a byte corruption into the peer's OPEN
+// marker via faultnet: the collector side must answer with a header-error
+// NOTIFICATION and tear down without leaking its writer goroutine.
+func TestEstablishGarbageOpen(t *testing.T) {
+	checkNoLeak(t)
+	c1, c2 := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Establish(c1, cfg(6447, "10.0.0.2"))
+		done <- err
+	}()
+	// The faulty side corrupts the first marker byte of its own OPEN.
+	faulty := faultnet.Wrap(c2, faultnet.Config{
+		Schedule: []faultnet.Fault{{AtByte: 0, Kind: faultnet.Corrupt}},
+	})
+	_, badErr := Establish(faulty, Config{
+		AS: 100001, BGPID: netip.MustParseAddr("10.0.0.1"),
+		HoldTime: 3 * time.Second, HandshakeTimeout: 2 * time.Second,
+	})
+	if badErr == nil {
+		t.Fatal("corrupted OPEN established anyway")
+	}
+	err := <-done
+	var notif *bgp.Notification
+	if !errors.As(err, &notif) || notif.Code != bgp.NotifMessageHeaderError {
+		t.Fatalf("err = %v, want header-error notification", err)
+	}
+	faulty.Close()
+	c1.Close()
+}
+
+// TestEstablishStallTimesOut starts a peer that connects and then goes
+// silent: Establish must give up at HandshakeTimeout and close the
+// connection (observed by the peer as EOF), leaking nothing.
+func TestEstablishStallTimesOut(t *testing.T) {
+	checkNoLeak(t)
+	c1, c2 := net.Pipe()
+	start := time.Now()
+	_, err := Establish(c1, Config{
+		AS: 6447, BGPID: netip.MustParseAddr("10.0.0.2"),
+		HoldTime: 3 * time.Second, HandshakeTimeout: 150 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("established against a silent peer")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("err = %v, want a timeout", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("timeout took %v, want ~150ms", d)
+	}
+	// Teardown must have closed the transport: the stalled peer's read ends.
+	c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	for {
+		if _, rerr := c2.Read(buf); rerr != nil {
+			break
+		}
+	}
+	c2.Close()
+}

@@ -69,8 +69,14 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 		return nil, fmt.Errorf("bgpsession: set deadline: %w", err)
 	}
 	// The wire carries whole seconds; advertise the ceiling so sub-second
-	// configured hold times don't become 0 ("no hold monitoring").
+	// configured hold times don't become 0 ("no hold monitoring"). 1 and 2
+	// are unacceptable on the wire (RFC 4271 §6.2), so short hold times
+	// advertise the minimum of 3; the local side still enforces its
+	// configured sub-second hold, since negotiation takes the minimum.
 	holdSecs := uint16((cfg.HoldTime + time.Second - 1) / time.Second)
+	if holdSecs > 0 && holdSecs < 3 {
+		holdSecs = 3
+	}
 	open := bgp.Open{AS: cfg.AS, HoldTime: holdSecs, BGPID: cfg.BGPID}
 	raw, err := open.Marshal()
 	if err != nil {
@@ -98,9 +104,26 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 		close(openRead)
 		return nil, s.fail(err)
 	}
+	if msg.Type == bgp.TypeNotification {
+		// The peer rejected us; surface its notification, don't answer it.
+		close(openRead)
+		s.conn.Close()
+		return nil, msg.Notification
+	}
 	if msg.Type != bgp.TypeOpen {
 		close(openRead)
 		return nil, s.fail(&bgp.Notification{Code: bgp.NotifFSMError})
+	}
+	// RFC 4271 §6.2: a hold time of 1 or 2 seconds is unacceptable (it must
+	// be 0 or at least 3); reject it instead of silently negotiating it.
+	// fail runs before openRead is closed so the writer goroutine cannot
+	// slip a KEEPALIVE in ahead of the rejection.
+	if msg.Open.HoldTime == 1 || msg.Open.HoldTime == 2 {
+		err := s.fail(&bgp.Notification{
+			Code: bgp.NotifOpenError, Subcode: bgp.OpenUnacceptableHoldTime,
+		})
+		close(openRead)
+		return nil, err
 	}
 	s.Peer = *msg.Open
 	close(openRead)
@@ -119,6 +142,11 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 	msg, err = s.readMessage()
 	if err != nil {
 		return nil, s.fail(err)
+	}
+	if msg.Type == bgp.TypeNotification {
+		// E.g. the peer found our hold time unacceptable after its OPEN.
+		s.conn.Close()
+		return nil, msg.Notification
 	}
 	if msg.Type != bgp.TypeKeepalive {
 		return nil, s.fail(&bgp.Notification{Code: bgp.NotifFSMError})

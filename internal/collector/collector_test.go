@@ -1,0 +1,266 @@
+package collector
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"net/netip"
+	"runtime"
+	"testing"
+	"time"
+
+	"countryrank/internal/asn"
+	"countryrank/internal/bgp"
+	"countryrank/internal/bgpsession"
+	"countryrank/internal/faultnet"
+)
+
+func TestMarkerRoundTrip(t *testing.T) {
+	for _, n := range []int64{0, 1, 7, 123456} {
+		raw, err := markerUpdate(n).Marshal()
+		if err != nil {
+			t.Fatalf("marshal marker(%d): %v", n, err)
+		}
+		u, err := bgp.UnmarshalUpdate(raw)
+		if err != nil {
+			t.Fatalf("unmarshal marker(%d): %v", n, err)
+		}
+		got, ok := markerCount(u)
+		if !ok || got != n {
+			t.Fatalf("markerCount = %d, %v; want %d, true", got, ok, n)
+		}
+	}
+	// Real updates and End-of-RIB must not read as markers.
+	real := &bgp.Update{
+		ASPath:    bgp.SequencePath(bgp.Path{65001}),
+		NextHop:   netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+		Announced: []netip.Prefix{netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 1, 0, 0}), 16)},
+	}
+	if _, ok := markerCount(real); ok {
+		t.Fatal("real update decoded as marker")
+	}
+	if _, ok := markerCount(&bgp.Update{}); ok {
+		t.Fatal("end-of-RIB decoded as marker")
+	}
+	if !isEndOfRIB(&bgp.Update{}) || isEndOfRIB(real) {
+		t.Fatal("end-of-RIB detection wrong")
+	}
+}
+
+func TestBackoffDeterministicCapped(t *testing.T) {
+	cfg := FeederConfig{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond}
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for attempt := 1; attempt <= 10; attempt++ {
+		da := backoff(a, cfg, attempt)
+		db := backoff(b, cfg, attempt)
+		if da != db {
+			t.Fatalf("attempt %d: backoff not deterministic: %v vs %v", attempt, da, db)
+		}
+		if da < cfg.BaseBackoff/2 || da >= cfg.MaxBackoff*3/2 {
+			t.Fatalf("attempt %d: backoff %v outside [base/2, 1.5*max)", attempt, da)
+		}
+	}
+}
+
+// synthUpdates builds n single-prefix announcements, the shape FeedVP emits.
+func synthUpdates(n int) []*bgp.Update {
+	out := make([]*bgp.Update, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, &bgp.Update{
+			ASPath:  bgp.SequencePath(bgp.Path{65000 + asn.ASN(i%7), 64512}),
+			NextHop: netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+			Announced: []netip.Prefix{
+				netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24),
+			},
+		})
+	}
+	return out
+}
+
+func newTestCollector(t *testing.T) *Collector {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Serve(ln, Config{
+		AS: 6447, BGPID: netip.AddrFrom4([4]byte{10, 255, 0, 1}),
+		HoldTime: 10 * time.Second, HandshakeTimeout: 5 * time.Second,
+	})
+}
+
+func TestFeedHappyPath(t *testing.T) {
+	before := runtime.NumGoroutine()
+	c := newTestCollector(t)
+	updates := synthUpdates(40)
+	key := PeerKey{AS: 65001, BGPID: netip.AddrFrom4([4]byte{10, 9, 0, 1})}
+
+	stats, err := Feed(context.Background(), FeederConfig{
+		Addr: c.Addr().String(), AS: key.AS, BGPID: key.BGPID,
+		HoldTime: 10 * time.Second,
+	}, updates)
+	if err != nil {
+		t.Fatalf("feed: %v", err)
+	}
+	if stats.Attempts != 1 || stats.Reconnects != 0 || stats.Sent != int64(len(updates)) {
+		t.Fatalf("stats = %+v, want 1 attempt, 0 reconnects, %d sent", stats, len(updates))
+	}
+	applied, complete := c.Complete(key)
+	if !complete || applied != int64(len(updates)) {
+		t.Fatalf("Complete = %d, %v; want %d, true", applied, complete, len(updates))
+	}
+	table := c.Tables()[key]
+	if table == nil || len(table.Routes) != len(updates) {
+		t.Fatalf("table has %d routes, want %d", len(table.Routes), len(updates))
+	}
+	c.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d -> %d", before, runtime.NumGoroutine())
+}
+
+func TestFeedResumesAfterReset(t *testing.T) {
+	c := newTestCollector(t)
+	defer c.Close()
+	updates := synthUpdates(60)
+	key := PeerKey{AS: 65002, BGPID: netip.AddrFrom4([4]byte{10, 9, 0, 2})}
+
+	// The first connection dies mid-feed; later ones are clean. The resume
+	// protocol must skip whatever the collector already applied.
+	dials := 0
+	dial := func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", c.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		dials++
+		if dials == 1 {
+			return faultnet.Wrap(conn, faultnet.Config{
+				Schedule: []faultnet.Fault{{AtByte: 700, Kind: faultnet.Reset}},
+			}), nil
+		}
+		return conn, nil
+	}
+
+	stats, err := Feed(context.Background(), FeederConfig{
+		Dial: dial, AS: key.AS, BGPID: key.BGPID,
+		HoldTime: 10 * time.Second, BaseBackoff: 5 * time.Millisecond,
+	}, updates)
+	if err != nil {
+		t.Fatalf("feed: %v", err)
+	}
+	if stats.Reconnects == 0 {
+		t.Fatal("reset transport produced no reconnects")
+	}
+	if stats.Resumed == 0 {
+		t.Fatal("reconnect re-sent the full table (resumed = 0)")
+	}
+	if stats.Sent >= int64(len(updates))*2 {
+		t.Fatalf("sent %d updates for a %d-entry table: resume is not trimming",
+			stats.Sent, len(updates))
+	}
+	applied, complete := c.Complete(key)
+	if !complete || applied != int64(len(updates)) {
+		t.Fatalf("Complete = %d, %v; want %d, true", applied, complete, len(updates))
+	}
+}
+
+func TestFeedRetriesExhausted(t *testing.T) {
+	// A listener that is immediately closed: every dial is refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	stats, err := Feed(context.Background(), FeederConfig{
+		Addr: addr, AS: 65003, BGPID: netip.AddrFrom4([4]byte{10, 9, 0, 3}),
+		MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+	}, synthUpdates(1))
+	if err == nil {
+		t.Fatal("feed to a dead collector succeeded")
+	}
+	if stats.Attempts != 3 || stats.Reconnects != 2 {
+		t.Fatalf("stats = %+v, want exactly 3 attempts", stats)
+	}
+}
+
+func TestFeedContextCancelled(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = Feed(ctx, FeederConfig{
+		Addr: addr, AS: 65004, BGPID: netip.AddrFrom4([4]byte{10, 9, 0, 4}),
+		MaxAttempts: 100, BaseBackoff: 10 * time.Second, MaxBackoff: 10 * time.Second,
+	}, synthUpdates(1))
+	if err == nil {
+		t.Fatal("cancelled feed succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt", elapsed)
+	}
+}
+
+func TestStaleSessionEvicted(t *testing.T) {
+	c := newTestCollector(t)
+	defer c.Close()
+	key := PeerKey{AS: 65005, BGPID: netip.AddrFrom4([4]byte{10, 9, 0, 5})}
+
+	// A zombie session: established, then silent. It holds the peer state
+	// until the reconnect evicts it.
+	conn, err := net.Dial("tcp", c.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zombie, err := bgpsession.Establish(conn, bgpsession.Config{
+		AS: key.AS, BGPID: key.BGPID, HoldTime: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("zombie establish: %v", err)
+	}
+	defer zombie.Close()
+	zombie.StartKeepalives(time.Second)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := Feed(context.Background(), FeederConfig{
+			Addr: c.Addr().String(), AS: key.AS, BGPID: key.BGPID,
+			HoldTime: 10 * time.Second, MaxAttempts: 2, BaseBackoff: 5 * time.Millisecond,
+		}, synthUpdates(10))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("feed behind a zombie session: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("feed blocked behind the zombie session: no eviction")
+	}
+	if got := c.Stats().Takeovers; got < 1 {
+		t.Fatalf("takeovers = %d, want >= 1", got)
+	}
+	applied, complete := c.Complete(key)
+	if !complete || applied != 10 {
+		t.Fatalf("Complete = %d, %v; want 10, true", applied, complete)
+	}
+}

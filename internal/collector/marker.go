@@ -1,0 +1,67 @@
+// Package collector implements a fault-tolerant live collection plane: a
+// passive route collector that accepts many concurrent vantage-point
+// sessions with per-session supervision, and a VP-side feeder that survives
+// transport faults by reconnecting with jittered exponential backoff and
+// resuming from the collector's last applied update instead of replaying
+// the full table.
+//
+// Resume protocol, layered on plain BGP UPDATEs so the wire stays RFC 4271:
+//
+//  1. After the OPEN/KEEPALIVE handshake the collector sends a marker
+//     UPDATE announcing a reserved /32 whose AS path encodes how many
+//     updates it has already applied for this peer (0 on first contact).
+//  2. The feeder skips that many updates and streams the rest.
+//  3. The feeder signals End-of-RIB with an empty UPDATE (RFC 4724 §2).
+//  4. The collector acknowledges with a second marker carrying its final
+//     applied count; the feeder succeeds only when that count matches the
+//     full table, otherwise it backs off and reconnects.
+//
+// Marker updates are control plane only: neither side applies them to a
+// routing table, and the reserved prefix is a host route in TEST-NET-1
+// (RFC 5737), which the topology generator never carves.
+package collector
+
+import (
+	"net/netip"
+
+	"countryrank/internal/asn"
+	"countryrank/internal/bgp"
+)
+
+// markerPrefix is the reserved control-plane prefix. Detection is by exact
+// prefix equality (address and bits), so the /32 cannot collide with the
+// /16../24 prefixes real feeds announce.
+var markerPrefix = netip.PrefixFrom(netip.AddrFrom4([4]byte{192, 0, 2, 77}), 32)
+
+// markerNextHop satisfies the codec's "IPv4 NLRI requires a next hop" rule.
+var markerNextHop = netip.AddrFrom4([4]byte{192, 0, 2, 1})
+
+// markerUpdate encodes an applied-update count as a control UPDATE.
+func markerUpdate(applied int64) *bgp.Update {
+	return &bgp.Update{
+		ASPath:    bgp.SequencePath(bgp.Path{asn.ASN(applied)}),
+		NextHop:   markerNextHop,
+		Announced: []netip.Prefix{markerPrefix},
+	}
+}
+
+// markerCount decodes a marker UPDATE, returning the applied count it
+// carries and whether u is a marker at all.
+func markerCount(u *bgp.Update) (int64, bool) {
+	if u == nil || len(u.Announced) != 1 || u.Announced[0] != markerPrefix ||
+		len(u.Withdrawn) != 0 || len(u.V6Announced) != 0 || len(u.V6Withdrawn) != 0 {
+		return 0, false
+	}
+	path := u.ASPath.Flatten()
+	if len(path) != 1 {
+		return 0, false
+	}
+	return int64(path[0]), true
+}
+
+// isEndOfRIB reports whether u is the End-of-RIB signal: an UPDATE with no
+// reachability in either address family (RFC 4724 §2).
+func isEndOfRIB(u *bgp.Update) bool {
+	return len(u.Announced) == 0 && len(u.Withdrawn) == 0 &&
+		len(u.V6Announced) == 0 && len(u.V6Withdrawn) == 0
+}

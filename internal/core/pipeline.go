@@ -77,6 +77,10 @@ const (
 	// any plurality country wins. Options.Threshold == 0 still means the
 	// paper's 50% majority.
 	PluralityThreshold = -1.0
+	// NoQuorum disables the partial-coverage gate entirely: any nonzero
+	// coverage is processed (and labelled). Options.Quorum == 0 still means
+	// the default 50% quorum.
+	NoQuorum = -1.0
 )
 
 // Options configures a pipeline run. The zero value reproduces the paper's
@@ -99,6 +103,11 @@ type Options struct {
 	// InferRelationships switches the cone metrics from generator ground
 	// truth to paths-inferred relationships (the ablation of DESIGN.md).
 	InferRelationships bool
+	// Quorum is the minimum delivered fraction of expected VPs a partial
+	// collection must reach (NewPipelineFromPartial); below it the run
+	// fails loudly. Zero selects the default 0.5; NoQuorum (or any
+	// negative value) disables the gate.
+	Quorum float64
 	// Routing tunes collection assembly (days, anomaly rates).
 	Routing routing.BuildOptions
 }
@@ -116,6 +125,12 @@ func (o Options) withDefaults() Options {
 	case o.Trim < 0:
 		o.Trim = 0
 	}
+	switch {
+	case o.Quorum == 0:
+		o.Quorum = 0.5
+	case o.Quorum < 0:
+		o.Quorum = 0
+	}
 	return o
 }
 
@@ -130,6 +145,10 @@ type Pipeline struct {
 	Rels relation.Oracle
 	// Inferred is set when InferRelationships was requested.
 	Inferred *relation.Table
+	// Coverage is set when the pipeline was built from a partial collection
+	// (NewPipelineFromPartial); nil means a complete run. When it reports
+	// degradation, every ranking name carries the report as a label.
+	Coverage *Coverage
 
 	// byPrefixCountry indexes accepted-record positions by the destination
 	// prefix's country, the common slicing key of all views.
@@ -436,10 +455,10 @@ func (p *Pipeline) Country(c countries.Code) *CountryRankings {
 
 	return &CountryRankings{
 		Country:      c,
-		CCI:          rank.New(string(CCI)+" "+string(c), coneI.Shares(), info, true),
-		CCN:          rank.New(string(CCN)+" "+string(c), coneN.Shares(), info, true),
-		AHI:          rank.New(string(AHI)+" "+string(c), ahI.Hegemony, info, true),
-		AHN:          rank.New(string(AHN)+" "+string(c), ahN.Hegemony, info, true),
+		CCI:          rank.New(p.label(string(CCI)+" "+string(c)), coneI.Shares(), info, true),
+		CCN:          rank.New(p.label(string(CCN)+" "+string(c)), coneN.Shares(), info, true),
+		AHI:          rank.New(p.label(string(AHI)+" "+string(c)), ahI.Hegemony, info, true),
+		AHN:          rank.New(p.label(string(AHN)+" "+string(c)), ahN.Hegemony, info, true),
 		ConeIntl:     coneI,
 		ConeNational: coneN,
 	}
@@ -455,8 +474,8 @@ func (p *Pipeline) Global() (ccg, ahg *rank.Ranking) {
 	doneH := timeKernel(mKernelHegemony)
 	hs := hegemony.Compute(p.DS, nil, p.Opt.Trim)
 	doneH()
-	return rank.New(string(CCG), cs.Shares(), info, true),
-		rank.New(string(AHG), hs.Hegemony, info, true)
+	return rank.New(p.label(string(CCG)), cs.Shares(), info, true),
+		rank.New(p.label(string(AHG)), hs.Hegemony, info, true)
 }
 
 // OutboundRankings bundles the §7 future-work "paths out of a country"
@@ -481,8 +500,8 @@ func (p *Pipeline) Outbound(c countries.Code) *OutboundRankings {
 	doneH()
 	return &OutboundRankings{
 		Country: c,
-		CCO:     rank.New("CCO "+string(c), cs.Shares(), info, true),
-		AHO:     rank.New("AHO "+string(c), hs.Hegemony, info, true),
+		CCO:     rank.New(p.label("CCO "+string(c)), cs.Shares(), info, true),
+		AHO:     rank.New(p.label("AHO "+string(c)), hs.Hegemony, info, true),
 	}
 }
 
@@ -490,7 +509,7 @@ func (p *Pipeline) Outbound(c countries.Code) *OutboundRankings {
 func (p *Pipeline) AHC(c countries.Code) *rank.Ranking {
 	defer timeKernel(mKernelIHR)()
 	s := ihr.Compute(p.DS, p.World.Graph, c, p.Opt.Trim)
-	return rank.New(string(AHC)+" "+string(c), s.AHC, p.Info(), true)
+	return rank.New(p.label(string(AHC)+" "+string(c)), s.AHC, p.Info(), true)
 }
 
 // CTI computes the country-level transit influence baseline for c over its
@@ -499,7 +518,7 @@ func (p *Pipeline) CTI(c countries.Code) *rank.Ranking {
 	recs := p.ViewRecords(International, c)
 	defer timeKernel(mKernelCTI)()
 	s := cti.ComputeFrom(p.DS, recs, p.Rels, p.ctiDepths, p.Opt.Trim)
-	return rank.New(string(CTI)+" "+string(c), s.CTI, p.Info(), true)
+	return rank.New(p.label(string(CTI)+" "+string(c)), s.CTI, p.Info(), true)
 }
 
 // rankFor computes one country metric over an explicit record subset; used

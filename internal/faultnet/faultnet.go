@@ -1,0 +1,237 @@
+// Package faultnet wraps a net.Conn with deterministic, seeded fault
+// injection: added latency, partial writes, byte corruption, silent
+// truncation, and mid-stream connection resets, all scriptable through a
+// fault schedule keyed on the cumulative byte offset of the write stream.
+//
+// The collection layer must survive vantage points that flap, stall, and
+// deliver partial tables; faultnet lets any session test inject those
+// conditions reproducibly — the same seed and schedule always produce the
+// same byte stream and the same failure points, so chaos tests are ordinary
+// deterministic tests.
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Kind selects what a scheduled Fault does when the write stream reaches its
+// offset.
+type Kind uint8
+
+const (
+	// Reset closes the underlying connection immediately: the pending write
+	// fails and the peer sees a hard close, like a TCP RST mid-stream.
+	Reset Kind = iota
+	// Truncate silently drops the rest of the current write (reporting
+	// success to the caller) and then kills the connection on the next
+	// operation: the crashed-host case, where the sender believes bytes
+	// were delivered that never arrived.
+	Truncate
+	// Corrupt flips the low bit of the byte at the fault offset and lets
+	// the stream continue: an undetected single-byte transport error.
+	Corrupt
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Reset:
+		return "reset"
+	case Truncate:
+		return "truncate"
+	case Corrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// Fault is one scripted event: when the connection has written AtByte
+// cumulative bytes, Kind fires. Schedules are sorted by AtByte at Wrap time.
+type Fault struct {
+	AtByte int64
+	Kind   Kind
+}
+
+// Config parameterizes the injected faults. The zero value injects nothing
+// and behaves like the bare connection.
+type Config struct {
+	// Seed drives the deterministic RNG behind jitter and chunk sizing.
+	Seed int64
+	// Latency delays every Read and Write; Jitter adds a uniform random
+	// extra delay in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+	// MaxWrite caps the bytes forwarded per underlying Write call, splitting
+	// large writes into random chunks of 1..MaxWrite bytes (partial writes).
+	MaxWrite int
+	// Schedule scripts faults at cumulative write offsets.
+	Schedule []Fault
+}
+
+// ErrInjectedReset is returned by operations on a connection killed by a
+// Reset or Truncate fault.
+var ErrInjectedReset = errors.New("faultnet: injected connection reset")
+
+// Conn is a net.Conn with fault injection layered over an inner connection.
+type Conn struct {
+	inner net.Conn
+	cfg   Config
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	written  int64   // cumulative bytes forwarded to inner
+	schedule []Fault // remaining faults, ascending AtByte
+	broken   bool    // a Reset/Truncate fired; all further ops fail
+}
+
+// Wrap layers fault injection over conn. The schedule is copied and sorted,
+// so the caller's slice is not retained.
+func Wrap(conn net.Conn, cfg Config) *Conn {
+	sched := append([]Fault(nil), cfg.Schedule...)
+	for i := 1; i < len(sched); i++ {
+		for j := i; j > 0 && sched[j].AtByte < sched[j-1].AtByte; j-- {
+			sched[j], sched[j-1] = sched[j-1], sched[j]
+		}
+	}
+	return &Conn{
+		inner:    conn,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		schedule: sched,
+	}
+}
+
+// delay sleeps the configured latency plus jitter. Called with mu held only
+// long enough to draw the jitter, never across the sleep.
+func (c *Conn) delay() {
+	if c.cfg.Latency == 0 && c.cfg.Jitter == 0 {
+		return
+	}
+	d := c.cfg.Latency
+	c.mu.Lock()
+	if c.cfg.Jitter > 0 {
+		d += time.Duration(c.rng.Int63n(int64(c.cfg.Jitter)))
+	}
+	c.mu.Unlock()
+	time.Sleep(d)
+}
+
+// Read delegates to the inner connection after the injected latency.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.delay()
+	c.mu.Lock()
+	broken := c.broken
+	c.mu.Unlock()
+	if broken {
+		return 0, ErrInjectedReset
+	}
+	return c.inner.Read(p)
+}
+
+// Write forwards p through the fault model: chunked into partial writes,
+// corrupted, truncated, or reset according to the schedule. It reports the
+// bytes the caller believes were sent, which for Truncate exceeds the bytes
+// actually delivered — exactly the lie a crashed host tells.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.delay()
+	total := 0
+	for len(p) > 0 {
+		c.mu.Lock()
+		if c.broken {
+			c.mu.Unlock()
+			return total, ErrInjectedReset
+		}
+		chunk := len(p)
+		if c.cfg.MaxWrite > 0 && chunk > c.cfg.MaxWrite {
+			chunk = 1 + c.rng.Intn(c.cfg.MaxWrite)
+		}
+		// Apply the first scheduled fault that lands inside this chunk. A
+		// corruption shrinks the chunk to end at the corrupted byte, so a
+		// later fault in the same write gets its own iteration.
+		var kill bool
+		buf := p[:chunk]
+		if len(c.schedule) > 0 && c.schedule[0].AtByte < c.written+int64(chunk) {
+			f := c.schedule[0]
+			off := int(f.AtByte - c.written)
+			if off < 0 {
+				off = 0
+			}
+			c.schedule = c.schedule[1:]
+			switch f.Kind {
+			case Corrupt:
+				chunk = off + 1
+				mut := append([]byte(nil), p[:chunk]...)
+				mut[off] ^= 0x01
+				buf = mut
+			case Reset:
+				c.broken = true
+				c.mu.Unlock()
+				c.inner.Close()
+				return total, ErrInjectedReset
+			case Truncate:
+				// Deliver the bytes before the cut, swallow the rest.
+				buf = p[:off]
+				kill = true
+			}
+		}
+		c.mu.Unlock()
+
+		if len(buf) > 0 {
+			n, err := c.inner.Write(buf)
+			c.mu.Lock()
+			c.written += int64(n)
+			c.mu.Unlock()
+			if err != nil {
+				return total + n, err
+			}
+		}
+		if kill {
+			c.mu.Lock()
+			c.broken = true
+			c.mu.Unlock()
+			c.inner.Close()
+			// The caller is told the whole write succeeded.
+			return total + len(p), nil
+		}
+		total += chunk
+		p = p[chunk:]
+	}
+	return total, nil
+}
+
+// Close closes the inner connection.
+func (c *Conn) Close() error { return c.inner.Close() }
+
+// LocalAddr delegates to the inner connection.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr delegates to the inner connection.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline delegates to the inner connection.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline delegates to the inner connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline delegates to the inner connection.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
+// Written returns the cumulative bytes actually forwarded to the inner
+// connection, the offset base the Schedule is keyed on.
+func (c *Conn) Written() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.written
+}
+
+// Broken reports whether a Reset or Truncate fault has killed the
+// connection.
+func (c *Conn) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}

@@ -1,0 +1,161 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// sink drains one side of a pipe into a buffer until EOF.
+func sink(c net.Conn) (<-chan []byte, func()) {
+	out := make(chan []byte, 1)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, c)
+		out <- buf.Bytes()
+	}()
+	return out, func() { c.Close() }
+}
+
+func TestPassthrough(t *testing.T) {
+	a, b := net.Pipe()
+	got, stop := sink(b)
+	defer stop()
+	fc := Wrap(a, Config{})
+	msg := []byte("hello over a perfect network")
+	if n, err := fc.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	fc.Close()
+	if !bytes.Equal(<-got, msg) {
+		t.Fatal("payload altered by zero-config wrapper")
+	}
+}
+
+func TestPartialWritesDeterministic(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 64)
+	run := func(seed int64) []byte {
+		a, b := net.Pipe()
+		got, stop := sink(b)
+		defer stop()
+		fc := Wrap(a, Config{Seed: seed, MaxWrite: 7})
+		if _, err := fc.Write(payload); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		fc.Close()
+		return <-got
+	}
+	if !bytes.Equal(run(42), payload) {
+		t.Fatal("chunked write dropped or reordered bytes")
+	}
+	if !bytes.Equal(run(42), run(42)) {
+		t.Fatal("same seed produced different streams")
+	}
+}
+
+func TestCorruptFlipsOneBit(t *testing.T) {
+	a, b := net.Pipe()
+	got, stop := sink(b)
+	defer stop()
+	fc := Wrap(a, Config{Schedule: []Fault{{AtByte: 5, Kind: Corrupt}}})
+	msg := []byte("0123456789")
+	if _, err := fc.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	fc.Close()
+	recv := <-got
+	if len(recv) != len(msg) {
+		t.Fatalf("received %d bytes, want %d", len(recv), len(msg))
+	}
+	for i := range msg {
+		want := msg[i]
+		if i == 5 {
+			want ^= 0x01
+		}
+		if recv[i] != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, recv[i], want)
+		}
+	}
+}
+
+func TestResetKillsConnection(t *testing.T) {
+	a, b := net.Pipe()
+	got, stop := sink(b)
+	defer stop()
+	fc := Wrap(a, Config{Schedule: []Fault{{AtByte: 4, Kind: Reset}}})
+	_, err := fc.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write err = %v, want ErrInjectedReset", err)
+	}
+	if !fc.Broken() {
+		t.Fatal("connection not marked broken after reset")
+	}
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-reset write err = %v", err)
+	}
+	if n := len(<-got); n > 4 {
+		t.Fatalf("peer received %d bytes past the reset point", n)
+	}
+}
+
+func TestTruncateLiesAboutDelivery(t *testing.T) {
+	a, b := net.Pipe()
+	got, stop := sink(b)
+	defer stop()
+	fc := Wrap(a, Config{Schedule: []Fault{{AtByte: 6, Kind: Truncate}}})
+	msg := []byte("0123456789")
+	n, err := fc.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("truncated write reported %d, %v; want full success", n, err)
+	}
+	if recv := <-got; !bytes.Equal(recv, msg[:6]) {
+		t.Fatalf("peer received %q, want the 6 bytes before the cut", recv)
+	}
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-truncate write err = %v, want ErrInjectedReset", err)
+	}
+}
+
+func TestLatencyDelaysWrites(t *testing.T) {
+	a, b := net.Pipe()
+	_, stop := sink(b)
+	defer stop()
+	fc := Wrap(a, Config{Seed: 1, Latency: 30 * time.Millisecond, Jitter: 10 * time.Millisecond})
+	start := time.Now()
+	if _, err := fc.Write([]byte("delayed")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("write completed in %v, want >= 30ms latency", d)
+	}
+	fc.Close()
+}
+
+func TestScheduleSortedAndSequential(t *testing.T) {
+	a, b := net.Pipe()
+	got, stop := sink(b)
+	defer stop()
+	// Out-of-order schedule: both corruptions must land at their offsets.
+	fc := Wrap(a, Config{Schedule: []Fault{
+		{AtByte: 8, Kind: Corrupt},
+		{AtByte: 2, Kind: Corrupt},
+	}})
+	msg := []byte("aaaaaaaaaaaa")
+	if _, err := fc.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	fc.Close()
+	recv := <-got
+	for i, c := range recv {
+		want := byte('a')
+		if i == 2 || i == 8 {
+			want ^= 0x01
+		}
+		if c != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, c, want)
+		}
+	}
+}

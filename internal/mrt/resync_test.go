@@ -1,0 +1,163 @@
+package mrt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+
+	"countryrank/internal/netx"
+)
+
+// recordedStream builds a dump and returns both the bytes and the offset of
+// each record, so tests can corrupt precise positions.
+func recordedStream(t *testing.T) ([]byte, []int) {
+	t.Helper()
+	var buf bytes.Buffer
+	var offsets []int
+	w := NewWriter(&buf, 1617235200)
+	flush := func() {
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	offsets = append(offsets, buf.Len())
+	if err := w.WritePeerIndexTable(netip.MustParseAddr("198.51.100.1"), "rv.resync", testPeers()); err != nil {
+		t.Fatal(err)
+	}
+	flush()
+	for i, pfx := range []string{"10.1.0.0/16", "10.2.0.0/16", "10.3.0.0/16"} {
+		offsets = append(offsets, buf.Len())
+		if err := w.WriteRIB(netx.MustPrefix(pfx), []RIBEntry{
+			{PeerIndex: uint16(i % 2), OriginatedAt: 100, Attrs: attrs(3356, 1221)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		flush()
+	}
+	return buf.Bytes(), offsets
+}
+
+// drain reads every record, returning the RIB prefixes seen.
+func drain(t *testing.T, r *Reader) ([]string, error) {
+	t.Helper()
+	var pfxs []string
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return pfxs, nil
+		}
+		if err != nil {
+			return pfxs, err
+		}
+		if rec.RIB != nil {
+			pfxs = append(pfxs, rec.RIB.Prefix.String())
+		}
+	}
+}
+
+func TestResyncMidStreamGarbage(t *testing.T) {
+	stream, offsets := recordedStream(t)
+	// Wedge 100 bytes of garbage between the first and second RIB record.
+	cut := offsets[2]
+	garbage := bytes.Repeat([]byte{0xAA}, 100)
+	mut := append(append(append([]byte(nil), stream[:cut]...), garbage...), stream[cut:]...)
+
+	// Strict mode aborts at the garbage.
+	if _, err := drain(t, NewReader(bytes.NewReader(mut))); err == nil {
+		t.Fatal("strict reader accepted mid-stream garbage")
+	}
+
+	// Resync mode recovers every record.
+	r := NewReader(bytes.NewReader(mut))
+	r.SetResync(true)
+	pfxs, err := drain(t, r)
+	if err != nil {
+		t.Fatalf("resync reader: %v", err)
+	}
+	want := []string{"10.1.0.0/16", "10.2.0.0/16", "10.3.0.0/16"}
+	if len(pfxs) != len(want) {
+		t.Fatalf("recovered %v, want %v", pfxs, want)
+	}
+	for i := range want {
+		if pfxs[i] != want[i] {
+			t.Fatalf("recovered %v, want %v", pfxs, want)
+		}
+	}
+	if r.Resyncs() != 1 {
+		t.Errorf("resyncs = %d, want 1", r.Resyncs())
+	}
+	if r.SkippedBytes() != int64(len(garbage)) {
+		t.Errorf("skipped %d bytes, want %d", r.SkippedBytes(), len(garbage))
+	}
+}
+
+func TestResyncCorruptLength(t *testing.T) {
+	stream, offsets := recordedStream(t)
+	// Blow up the second RIB record's length field: the record is lost, the
+	// stream is not.
+	mut := append([]byte(nil), stream...)
+	binary.BigEndian.PutUint32(mut[offsets[2]+8:], 1<<30)
+
+	if _, err := drain(t, NewReader(bytes.NewReader(mut))); err == nil {
+		t.Fatal("strict reader accepted an implausible length")
+	}
+
+	r := NewReader(bytes.NewReader(mut))
+	r.SetResync(true)
+	pfxs, err := drain(t, r)
+	if err != nil {
+		t.Fatalf("resync reader: %v", err)
+	}
+	want := []string{"10.1.0.0/16", "10.3.0.0/16"}
+	if len(pfxs) != len(want) || pfxs[0] != want[0] || pfxs[1] != want[1] {
+		t.Fatalf("recovered %v, want %v (corrupt record dropped)", pfxs, want)
+	}
+	if r.Resyncs() < 1 {
+		t.Errorf("resyncs = %d, want >= 1", r.Resyncs())
+	}
+	if r.SkippedBytes() == 0 {
+		t.Error("skipped bytes = 0, want > 0")
+	}
+}
+
+func TestResyncTruncatedTail(t *testing.T) {
+	stream, offsets := recordedStream(t)
+	// Cut mid-way through the last record.
+	cutAt := offsets[3] + (len(stream)-offsets[3])/2
+	mut := stream[:cutAt]
+
+	if _, err := drain(t, NewReader(bytes.NewReader(mut))); err == nil {
+		t.Fatal("strict reader accepted a truncated record")
+	}
+
+	r := NewReader(bytes.NewReader(mut))
+	r.SetResync(true)
+	pfxs, err := drain(t, r)
+	if err != nil {
+		t.Fatalf("resync reader: %v", err)
+	}
+	want := []string{"10.1.0.0/16", "10.2.0.0/16"}
+	if len(pfxs) != len(want) || pfxs[0] != want[0] || pfxs[1] != want[1] {
+		t.Fatalf("recovered %v, want %v (truncated tail dropped)", pfxs, want)
+	}
+	if r.Resyncs() != 1 {
+		t.Errorf("resyncs = %d, want 1", r.Resyncs())
+	}
+}
+
+func TestResyncCleanStreamUntouched(t *testing.T) {
+	stream, _ := recordedStream(t)
+	r := NewReader(bytes.NewReader(stream))
+	r.SetResync(true)
+	pfxs, err := drain(t, r)
+	if err != nil {
+		t.Fatalf("resync reader on clean stream: %v", err)
+	}
+	if len(pfxs) != 3 || r.Resyncs() != 0 || r.SkippedBytes() != 0 {
+		t.Fatalf("clean stream: %d records, %d resyncs, %d skipped",
+			len(pfxs), r.Resyncs(), r.SkippedBytes())
+	}
+}

@@ -1,0 +1,80 @@
+package routing
+
+import (
+	"net"
+	"net/netip"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"countryrank/internal/bgpsession"
+	"countryrank/internal/faultnet"
+)
+
+// TestFeedVPClosesSessionOnSendError is the regression test for the session
+// leak: a transport failure mid-feed must tear the session down, including
+// the keepalive goroutine, instead of returning with the session open.
+func TestFeedVPClosesSessionOnSendError(t *testing.T) {
+	w := testWorld(t)
+	col := BuildCollection(w, BuildOptions{LoopFrac: -1, PoisonFrac: -1, UnallocFrac: -1, UnstableFrac: -1})
+	var vpIdx int32 = -1
+	for _, r := range col.Records {
+		vpIdx = r.VP
+		break
+	}
+	if vpIdx < 0 {
+		t.Skip("no records")
+	}
+
+	before := runtime.NumGoroutine()
+
+	speakerConn, collectorConn := net.Pipe()
+	// The transport resets shortly after the handshake: the first large
+	// enough Send fails mid-feed.
+	faulty := faultnet.Wrap(speakerConn, faultnet.Config{
+		Schedule: []faultnet.Fault{{AtByte: 150, Kind: faultnet.Reset}},
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sess, err := bgpsession.Establish(collectorConn, bgpsession.Config{
+			AS: 6447, BGPID: netip.MustParseAddr("10.0.0.2"), HoldTime: 10 * time.Second,
+		})
+		if err != nil {
+			return // the reset may land during the handshake; that's fine
+		}
+		defer sess.Close()
+		sess.Collect(bgpsession.NewTable(), 0)
+	}()
+
+	sess, err := bgpsession.Establish(faulty, bgpsession.Config{
+		AS: w.VPs.VP(int(vpIdx)).AS, BGPID: netip.MustParseAddr("10.0.0.1"),
+		HoldTime: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("establish: %v", err)
+	}
+	// The keepalive goroutine is exactly what leaked before the fix.
+	sess.StartKeepalives(50 * time.Millisecond)
+	if _, err := FeedVP(sess, col, vpIdx); err == nil {
+		t.Fatal("feed over a reset transport succeeded")
+	}
+	collectorConn.Close()
+	wg.Wait()
+
+	// All goroutines (keepalive, collector, pipe plumbing) must unwind.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked after FeedVP error: %d -> %d\n%s",
+		before, runtime.NumGoroutine(), buf[:n])
+}

@@ -10,12 +10,12 @@ import (
 	"countryrank/internal/bgpsession"
 )
 
-// FeedVP streams one vantage point's base-day routes over an established
-// BGP session, the way a real VP feeds a collector, and closes the session.
-// Returns the number of UPDATEs sent.
-func FeedVP(sess *bgpsession.Session, c *Collection, vpIdx int32) (int, error) {
+// UpdatesForVP builds the UPDATE sequence one vantage point's base-day
+// routes produce, in record order: the exact messages FeedVP sends. Resumable
+// feeders replay a suffix of this sequence after a reconnect.
+func UpdatesForVP(c *Collection, vpIdx int32) []*bgp.Update {
 	v := c.World.VPs.VP(int(vpIdx))
-	n := 0
+	var out []*bgp.Update
 	for _, r := range c.Records {
 		if r.VP != vpIdx {
 			continue
@@ -29,12 +29,24 @@ func FeedVP(sess *bgpsession.Session, c *Collection, vpIdx int32) (int, error) {
 			u.V6NextHop = v6NextHop
 			u.V6Announced = []netip.Prefix{pfx}
 		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// FeedVP streams one vantage point's base-day routes over an established
+// BGP session, the way a real VP feeds a collector, and closes the session.
+// The session is torn down on every exit path — a Send failure must not
+// leave the keepalive goroutine running. Returns the number of UPDATEs sent.
+func FeedVP(sess *bgpsession.Session, c *Collection, vpIdx int32) (int, error) {
+	updates := UpdatesForVP(c, vpIdx)
+	for n, u := range updates {
 		if err := sess.Send(u); err != nil {
+			sess.Close()
 			return n, fmt.Errorf("routing: feed VP %d: %w", vpIdx, err)
 		}
-		n++
 	}
-	return n, sess.Close()
+	return len(updates), sess.Close()
 }
 
 // v6NextHop is the synthetic IPv6 next hop used when feeding IPv6 routes

@@ -257,16 +257,26 @@ type importStream struct {
 	paths     []bgp.Path
 	// rejects counts entries dropped during decode (unknown peers, bad peer
 	// indexes); bytes is the stream's wire size. Both fold into the obs
-	// counters once per stream during the merge.
-	rejects int64
-	bytes   int64
-	err     error
+	// counters once per stream during the merge. resyncs / skippedBytes
+	// account the reader's skip-and-resync recoveries in degraded mode.
+	rejects      int64
+	bytes        int64
+	resyncs      int64
+	skippedBytes int64
+	err          error
 }
 
-func importOneStream(stream io.Reader, byAddr map[netip.Addr]int32) (out importStream) {
+func importOneStream(stream io.Reader, byAddr map[netip.Addr]int32, opt ImportOptions) (out importStream) {
 	cr := &countingReader{r: stream}
 	defer func() { out.bytes = cr.n }()
 	r := mrt.NewReader(cr)
+	if opt.SkipCorrupt {
+		r.SetResync(true)
+		defer func() {
+			out.resyncs = r.Resyncs()
+			out.skippedBytes = r.SkippedBytes()
+		}()
+	}
 	prefixIdx := map[netip.Prefix]int32{}
 	// vpOf resolves a stream peer index to the world VP index (-1 unknown);
 	// it is built once per peer table so the hot loop never hashes peering
@@ -316,7 +326,12 @@ func importOneStream(stream io.Reader, byAddr map[netip.Addr]int32) (out importS
 		}
 		for _, e := range rib.Entries {
 			if int(e.PeerIndex) >= len(vpOf) {
+				// In degraded mode a bad peer index (e.g. the PIT itself was
+				// corrupt and skipped) drops the entry, not the stream.
 				out.rejects++
+				if opt.SkipCorrupt {
+					continue
+				}
 				out.err = fmt.Errorf("routing: peer index %d out of range", e.PeerIndex)
 				return out
 			}
@@ -347,6 +362,28 @@ func importOneStream(stream io.Reader, byAddr map[netip.Addr]int32) (out importS
 	}
 }
 
+// ImportOptions tunes MRT ingest. The zero value is strict: any corrupt
+// record aborts the import.
+type ImportOptions struct {
+	// SkipCorrupt turns on degraded-mode ingest: corrupt records are skipped
+	// via the reader's resync scan, entries referencing unknown peer indexes
+	// are dropped, and the import completes with the losses accounted in
+	// ImportStats instead of returning an error.
+	SkipCorrupt bool
+}
+
+// ImportStats accounts what a degraded import lost: the coverage report a
+// partial collection is labelled with.
+type ImportStats struct {
+	// Records is the number of RIB entries imported.
+	Records int64
+	// Rejects is entries dropped during decode (unknown peers, bad indexes).
+	Rejects int64
+	// Resyncs is corrupt records skipped; SkippedBytes the bytes discarded.
+	Resyncs      int64
+	SkippedBytes int64
+}
+
 // ImportMRT parses TABLE_DUMP_V2 streams (one per collector) back into a
 // Collection attached to the given world. VPs are matched by peering
 // address; entries from unknown peers are dropped. Streams decode
@@ -356,6 +393,14 @@ func importOneStream(stream io.Reader, byAddr map[netip.Addr]int32) (out importS
 // tracked explicitly so an AS0 origin is preserved rather than overwritten.
 // Stability defaults to true for every prefix (MRT carries a single day).
 func ImportMRT(w *topology.World, streams []io.Reader) (*Collection, error) {
+	col, _, err := ImportMRTWith(w, streams, ImportOptions{})
+	return col, err
+}
+
+// ImportMRTWith is ImportMRT with explicit options and loss accounting. With
+// SkipCorrupt set it is the degraded-mode ingest path: corrupt records cost
+// coverage, not the run.
+func ImportMRTWith(w *topology.World, streams []io.Reader, opt ImportOptions) (*Collection, ImportStats, error) {
 	sp := obs.StartSpan("mrt-import")
 	sp.AddItems(0, "records")
 	defer sp.End()
@@ -365,9 +410,10 @@ func ImportMRT(w *topology.World, streams []io.Reader) (*Collection, error) {
 		byAddr[set.VP(i).Addr] = int32(i)
 	}
 
+	var stats ImportStats
 	parts := make([]importStream, len(streams))
 	par.ForEach(len(streams), func(si int) {
-		parts[si] = importOneStream(streams[si], byAddr)
+		parts[si] = importOneStream(streams[si], byAddr, opt)
 	})
 	for si := range parts {
 		p := &parts[si]
@@ -375,8 +421,12 @@ func ImportMRT(w *topology.World, streams []io.Reader) (*Collection, error) {
 		mMRTRecordsIn.Add(int64(len(p.records)))
 		mMRTRejects.Add(p.rejects)
 		sp.AddItems(int64(len(p.records)), "")
+		stats.Records += int64(len(p.records))
+		stats.Rejects += p.rejects
+		stats.Resyncs += p.resyncs
+		stats.SkippedBytes += p.skippedBytes
 		if p.err != nil {
-			return nil, p.err
+			return nil, stats, p.err
 		}
 	}
 
@@ -426,5 +476,5 @@ func ImportMRT(w *topology.World, streams []io.Reader) (*Collection, error) {
 	for i := range col.Stable {
 		col.Stable[i] = true
 	}
-	return col, nil
+	return col, stats, nil
 }

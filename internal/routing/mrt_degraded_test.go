@@ -1,0 +1,85 @@
+package routing
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// recordOffsets walks a well-formed MRT stream header-by-header and returns
+// the byte offset of each record, so tests can corrupt precise positions.
+func recordOffsets(t *testing.T, stream []byte) []int {
+	t.Helper()
+	var offsets []int
+	pos := 0
+	for pos+12 <= len(stream) {
+		offsets = append(offsets, pos)
+		length := int(binary.BigEndian.Uint32(stream[pos+8:]))
+		pos += 12 + length
+	}
+	if pos != len(stream) {
+		t.Fatalf("stream did not cleave into records: ended at %d of %d", pos, len(stream))
+	}
+	return offsets
+}
+
+// TestImportMRTDegraded corrupts one record in one collector stream and
+// checks both ingest modes: strict aborts, SkipCorrupt completes with the
+// loss accounted in ImportStats.
+func TestImportMRTDegraded(t *testing.T) {
+	w := testWorld(t)
+	c := BuildCollection(w, BuildOptions{LoopFrac: -1, PoisonFrac: -1, UnallocFrac: -1})
+
+	var clean [][]byte
+	for _, coll := range w.VPs.Collectors() {
+		var b bytes.Buffer
+		if err := ExportMRT(&b, c, coll.Name, 1617235200); err != nil {
+			t.Fatalf("export %s: %v", coll.Name, err)
+		}
+		clean = append(clean, b.Bytes())
+	}
+
+	// Blow up the length field of the second record (first RIB record after
+	// the peer index table) in the first stream.
+	offsets := recordOffsets(t, clean[0])
+	if len(offsets) < 3 {
+		t.Skip("first stream too small to corrupt safely")
+	}
+	mut := append([]byte(nil), clean[0]...)
+	binary.BigEndian.PutUint32(mut[offsets[1]+8:], 1<<30)
+
+	streams := func() []io.Reader {
+		rs := []io.Reader{bytes.NewReader(mut)}
+		for _, b := range clean[1:] {
+			rs = append(rs, bytes.NewReader(b))
+		}
+		return rs
+	}
+
+	if _, err := ImportMRT(w, streams()); err == nil {
+		t.Fatal("strict import accepted a corrupt record")
+	}
+
+	got, stats, err := ImportMRTWith(w, streams(), ImportOptions{SkipCorrupt: true})
+	if err != nil {
+		t.Fatalf("degraded import: %v", err)
+	}
+	if stats.Resyncs < 1 {
+		t.Errorf("resyncs = %d, want >= 1", stats.Resyncs)
+	}
+	if stats.SkippedBytes == 0 {
+		t.Error("skipped bytes = 0, want > 0")
+	}
+	if len(got.Records) >= len(c.Records) {
+		t.Errorf("degraded import has %d records, want < %d (the corrupt record is lost)",
+			len(got.Records), len(c.Records))
+	}
+	if stats.Records != int64(len(got.Records)) {
+		t.Errorf("stats.Records = %d, collection has %d", stats.Records, len(got.Records))
+	}
+	// The loss is bounded: only the one corrupted record's entries are gone.
+	if len(got.Records) == 0 {
+		t.Fatal("degraded import lost everything")
+	}
+}

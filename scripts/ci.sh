@@ -29,6 +29,12 @@ go test -run '^$' -bench Figure4 -benchtime 1x .
 echo '--- fuzz smoke (MRT reader, 10s)'
 go test -run '^$' -fuzz FuzzReaderNext -fuzztime 10s ./internal/mrt
 
+echo '--- chaos soak (collector under injected faults, -race, bounded)'
+# The soak feeds a live collector over transports that reset, truncate,
+# fragment, and delay, and requires the rebuilt collection to be identical
+# to a fault-free run with reconnects and resumes actually observed.
+go test -race -run TestChaosSoak -count=1 -timeout 120s ./internal/collector
+
 echo '--- obs smoke (asrank -debug-addr, scrape /healthz and /metrics)'
 # Run a small asrank with the debug server up and -debug-linger holding it
 # alive after the run, then assert the endpoints answer and the sanitize /
