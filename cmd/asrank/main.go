@@ -6,10 +6,15 @@
 //
 //	asrank [-seed N] [-scale F] [-vpscale F] [-top K] [-ahc CC]
 //	       [-v LEVEL] [-debug-addr HOST:PORT] [-debug-linger D]
+//	       [-trace-out FILE] [-manifest FILE] [-timeline D]
 //
 // -v raises the structured-log verbosity (0 info, 1 debug stage logs);
-// -debug-addr serves /metrics, /healthz, expvar, and pprof, and
-// -debug-linger keeps that server up after the run for scraping.
+// -debug-addr serves /metrics, /healthz, expvar, pprof, /debug/trace, and
+// /debug/timeline, and -debug-linger keeps that server up after the run
+// for scraping. -trace-out writes the stage spans as Chrome trace-event
+// JSON (open in Perfetto), -manifest writes the run provenance manifest
+// (flags, seeds, coverage, sanitize drops, metric snapshot), and
+// -timeline samples the registry into the /debug/timeline ring buffer.
 package main
 
 import (
@@ -34,8 +39,11 @@ func main() {
 	flag.Parse()
 	ofl.Init()
 
+	ofl.Manifest.Seed("world", *seed)
 	p := core.NewPipeline(core.Options{Seed: *seed, StubScale: *scale, VPScale: *vpscale})
 	slog.Debug("pipeline ready", "accepted", p.DS.Len())
+	ofl.Manifest.SetCoverage(p.CoverageInfo())
+	ofl.Manifest.SetDrops(p.DS.Stats.Drops())
 	ccg, ahg := p.Global()
 	fmt.Print(ccg.Render(*top))
 	fmt.Println()

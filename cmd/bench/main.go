@@ -12,7 +12,10 @@
 // per-benchmark ratios are printed; the command exits 1 if any benchmark
 // regressed in ns/op beyond -tolerance (default 1.30, i.e. 30% slower).
 // -v raises the structured-log verbosity; -debug-addr serves /metrics,
-// /healthz, expvar, and pprof for the bench driver itself.
+// /healthz, expvar, pprof, /debug/trace, and /debug/timeline for the bench
+// driver itself. -manifest records the exact flags and a digest of the
+// -baseline file a comparison ran against; -trace-out exports the driver's
+// spans as a Chrome trace.
 package main
 
 import (
@@ -122,6 +125,7 @@ func main() {
 		path = fmt.Sprintf("BENCH_%s.json", date)
 	}
 
+	sp := obs.StartSpan("go-test-bench")
 	cmd := exec.Command("go", "test", "-run", "^$",
 		"-bench", *bench, "-benchmem",
 		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), ".")
@@ -155,6 +159,8 @@ func main() {
 	if err := cmd.Wait(); err != nil {
 		fatal("go test -bench failed", "err", err)
 	}
+	sp.AddItems(int64(len(snap.Results)), "benchmarks")
+	sp.End()
 	if len(snap.Results) == 0 {
 		fatal("no benchmark lines parsed; check the -bench regex")
 	}
@@ -173,6 +179,9 @@ func main() {
 	slog.Info("wrote snapshot", "path", path, "benchmarks", len(snap.Results))
 
 	if *baseline != "" {
+		if err := ofl.Manifest.AddInput(*baseline); err != nil {
+			slog.Warn("baseline digest failed", "path", *baseline, "err", err)
+		}
 		if failed := compare(*baseline, snap, *tolerance); failed {
 			os.Exit(1)
 		}

@@ -6,11 +6,16 @@
 // Usage:
 //
 //	crank [-seed N] [-scale F] [-vpscale F] [-mrt DIR] [-metric all|CCI|CCN|AHI|AHN|AHC|CTI] [-top K]
-//	      [-v LEVEL] [-debug-addr HOST:PORT] [-debug-linger D] CC [CC...]
+//	      [-v LEVEL] [-debug-addr HOST:PORT] [-debug-linger D]
+//	      [-trace-out FILE] [-manifest FILE] [-timeline D] CC [CC...]
 //
 // Each positional argument is an ISO 3166-1 alpha-2 country code. -v raises
 // the structured-log verbosity (0 info, 1 debug stage logs); -debug-addr
-// serves /metrics, /healthz, expvar, and pprof.
+// serves /metrics, /healthz, expvar, pprof, /debug/trace, and
+// /debug/timeline. -trace-out writes a Perfetto-loadable Chrome trace;
+// -manifest writes the run provenance manifest — with -mrt, it carries a
+// SHA-256 digest of every imported dump, so a ranking names the exact
+// bytes it was computed from.
 package main
 
 import (
@@ -44,20 +49,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	ofl.Manifest.Seed("world", *seed)
 	w := topology.Build(topology.Config{Seed: *seed, StubScale: *scale, VPScale: *vpscale})
 	var col *routing.Collection
 	if *mrtDir != "" {
 		var err error
-		col, err = loadMRT(w, *mrtDir)
+		var paths []string
+		col, paths, err = loadMRT(w, *mrtDir)
 		if err != nil {
 			slog.Error("MRT import failed", "dir", *mrtDir, "err", err)
 			os.Exit(1)
+		}
+		for _, path := range paths {
+			if err := ofl.Manifest.AddInput(path); err != nil {
+				slog.Warn("input digest failed", "path", path, "err", err)
+			}
 		}
 		slog.Info("loaded MRT dumps", "records", len(col.Records), "dir", *mrtDir)
 	} else {
 		col = routing.BuildCollection(w, routing.BuildOptions{})
 	}
 	p := core.NewPipelineFrom(w, col, core.Options{Seed: *seed})
+	ofl.Manifest.SetCoverage(p.CoverageInfo())
+	ofl.Manifest.SetDrops(p.DS.Stats.Drops())
 
 	for _, arg := range flag.Args() {
 		c := countries.Code(strings.ToUpper(arg))
@@ -90,14 +104,17 @@ func main() {
 	ofl.Done()
 }
 
-// loadMRT imports every .mrt file in dir against the world's VP set.
-func loadMRT(w *topology.World, dir string) (*routing.Collection, error) {
+// loadMRT imports every .mrt file in dir against the world's VP set,
+// returning the collection and the imported file paths (for provenance
+// digests).
+func loadMRT(w *topology.World, dir string) (*routing.Collection, []string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var readers []io.Reader
 	var files []*os.File
+	var paths []string
 	defer func() {
 		for _, f := range files {
 			f.Close()
@@ -107,15 +124,18 @@ func loadMRT(w *topology.World, dir string) (*routing.Collection, error) {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".mrt") {
 			continue
 		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		files = append(files, f)
 		readers = append(readers, f)
+		paths = append(paths, path)
 	}
 	if len(readers) == 0 {
-		return nil, fmt.Errorf("no .mrt files in %s", dir)
+		return nil, nil, fmt.Errorf("no .mrt files in %s", dir)
 	}
-	return routing.ImportMRT(w, readers)
+	col, err := routing.ImportMRT(w, readers)
+	return col, paths, err
 }

@@ -5,13 +5,19 @@
 //
 //	experiments [-seed N] [-scale F] [-vpscale F] [-trials N] [-quick] [-only LIST]
 //	            [-progress] [-v LEVEL] [-debug-addr HOST:PORT] [-debug-linger D]
+//	            [-trace-out FILE] [-manifest FILE] [-timeline D]
 //
 // -quick runs a reduced world and fewer stability trials; -only selects a
 // comma-separated subset (e.g. -only table1,figure4,table10). -progress
 // streams per-experiment start/finish lines (with wall time and stability
 // trial counts) to stderr and prints the stage tree at the end; -v raises
 // the structured-log verbosity (0 info, 1 debug stage logs); -debug-addr
-// serves /metrics, /healthz, expvar, and pprof.
+// serves /metrics, /healthz, expvar, pprof, /debug/trace, and
+// /debug/timeline. -trace-out writes every experiment's span (including
+// the parallel stability fan-out) as a Perfetto-loadable Chrome trace;
+// -manifest records which seeds, flags, coverage, and sanitize drops
+// produced the printed tables; -timeline samples the registry so long
+// sweeps expose metric history, not just a final scrape.
 package main
 
 import (
@@ -137,6 +143,11 @@ func main() {
 	slog.Info("building April 2021 pipeline", "seed", *seed, "scale", *scale, "vpscale", *vpscale)
 	p21 := core.NewPipeline(core.Options{Seed: *seed, StubScale: *scale, VPScale: *vpscale})
 	slog.Info("pipeline ready", "elapsed", time.Since(start).Round(time.Millisecond), "accepted", p21.DS.Len())
+	ofl.Manifest.Seed("world", *seed)
+	ofl.Manifest.Seed("figure4_trials", *seed+100)
+	ofl.Manifest.Seed("figure5_trials", *seed+200)
+	ofl.Manifest.SetCoverage(p21.CoverageInfo())
+	ofl.Manifest.SetDrops(p21.DS.Stats.Drops())
 
 	section := func(s string) { fmt.Printf("\n================ %s\n", s) }
 

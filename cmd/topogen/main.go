@@ -8,9 +8,13 @@
 //
 //	topogen [-seed N] [-scale F] [-vpscale F] [-scenario 20210401|20230301] -out DIR
 //	        [-v LEVEL] [-debug-addr HOST:PORT] [-debug-linger D]
+//	        [-trace-out FILE] [-manifest FILE] [-timeline D]
 //
 // -v raises the structured-log verbosity (0 info, 1 debug stage logs);
-// -debug-addr serves /metrics, /healthz, expvar, and pprof.
+// -debug-addr serves /metrics, /healthz, expvar, pprof, /debug/trace, and
+// /debug/timeline. -trace-out writes a Perfetto-loadable Chrome trace and
+// -manifest a run provenance manifest, so a dump directory can be traced
+// back to the exact seed and flags that generated it.
 package main
 
 import (
@@ -39,6 +43,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	ofl.Manifest.Seed("world", *seed)
 	w := topology.Build(topology.Config{
 		Seed:      *seed,
 		Scenario:  topology.Scenario(*scenario),

@@ -2,16 +2,21 @@ package collector
 
 import (
 	"context"
+	"encoding/json"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"net/netip"
 	"reflect"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"countryrank/internal/bgpsession"
 	"countryrank/internal/faultnet"
+	"countryrank/internal/obs"
 	"countryrank/internal/routing"
 	"countryrank/internal/topology"
 )
@@ -23,6 +28,18 @@ import (
 // exercised (reconnects and resumes observed). Run it under -race; the
 // collector's supervision and the feeders' retries are all concurrent.
 func TestChaosSoak(t *testing.T) {
+	// Sample the collector counters while the soak runs, so the assertions
+	// below can check fault handling *over time* (a timeline), not just at
+	// exit — and that /debug/timeline actually serves that history.
+	tl := obs.NewTimeline(obs.Default, 2*time.Millisecond, 8192,
+		"countryrank_collector_updates_applied_total",
+		"countryrank_collector_feeder_retries_total",
+		"countryrank_collector_resumed_sessions_total",
+		"countryrank_collector_sessions_total")
+	tl.Start()
+	obs.SetDefaultTimeline(tl)
+	defer obs.SetDefaultTimeline(nil)
+
 	w := topology.Build(topology.Config{Seed: 5, StubScale: 0.1, VPScale: 0.1})
 	col := routing.BuildCollection(w, routing.BuildOptions{
 		LoopFrac: -1, PoisonFrac: -1, UnallocFrac: -1, UnstableFrac: -1,
@@ -188,4 +205,55 @@ func TestChaosSoak(t *testing.T) {
 	st := c.Stats()
 	t.Logf("soak: %d VPs, %d sessions, %d dropped, %d resumed sessions, %d reconnects, %d updates resumed, %d applied",
 		len(candidates), st.Sessions, st.Dropped, st.ResumedSessions, reconnects, resumed, st.UpdatesApplied)
+
+	// The timeline must show the reconnect/resume counters *moving during*
+	// the soak: a final scrape proves totals, the series proves when.
+	tl.Stop()
+	srv := httptest.NewServer(obs.NewDebugMux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/timeline")
+	if err != nil {
+		t.Fatalf("/debug/timeline: %v", err)
+	}
+	defer resp.Body.Close()
+	var data obs.TimelineData
+	if err := json.NewDecoder(resp.Body).Decode(&data); err != nil {
+		t.Fatalf("/debug/timeline decode: %v", err)
+	}
+	if len(data.OffsetsMS) < 2 {
+		t.Fatalf("/debug/timeline served %d samples, want a timeline", len(data.OffsetsMS))
+	}
+	// Counters are process-global, so assert on deltas within the window:
+	// the soak's own applied updates, retries, and resumed sessions must
+	// all have risen between the baseline sample and the final one.
+	for _, name := range []string{
+		"countryrank_collector_updates_applied_total",
+		"countryrank_collector_feeder_retries_total",
+		"countryrank_collector_resumed_sessions_total",
+	} {
+		series, ok := data.Series[name]
+		if !ok || len(series) != len(data.OffsetsMS) {
+			t.Fatalf("/debug/timeline series %s missing or misaligned", name)
+		}
+		if delta := series[len(series)-1] - series[0]; delta <= 0 {
+			t.Errorf("timeline shows no movement in %s during the soak (delta %v)", name, delta)
+		}
+	}
+	// And the movement must be gradual, not a single end-of-run jump: the
+	// applied counter has to be strictly between its endpoints somewhere.
+	applied := data.Series["countryrank_collector_updates_applied_total"]
+	first, last := applied[0], applied[len(applied)-1]
+	gradual := false
+	for _, v := range applied {
+		if v > first && v < last {
+			gradual = true
+			break
+		}
+	}
+	if !gradual {
+		t.Errorf("applied-updates timeline jumped %v -> %v with no intermediate samples", first, last)
+	}
+	if sp := tl.Sparkline(); !strings.Contains(sp, "countryrank_collector_updates_applied_total") {
+		t.Errorf("sparkline summary missing applied series:\n%s", sp)
+	}
 }

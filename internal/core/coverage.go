@@ -59,6 +59,30 @@ func (c Coverage) String() string {
 		c.VPsDelivered, c.VPsExpected, c.RecordsLost, c.Resyncs)
 }
 
+// Info converts the report to its run-manifest form.
+func (c Coverage) Info() obs.CoverageInfo {
+	return obs.CoverageInfo{
+		VPsExpected:  c.VPsExpected,
+		VPsDelivered: c.VPsDelivered,
+		RecordsLost:  c.RecordsLost,
+		Resyncs:      c.Resyncs,
+		SkippedBytes: c.SkippedBytes,
+		Reconnects:   c.Reconnects,
+		Degraded:     c.Degraded(),
+	}
+}
+
+// CoverageInfo reports the pipeline's coverage for the run manifest: the
+// recorded partial-coverage report when one exists, otherwise a complete
+// run over every VP of the world.
+func (p *Pipeline) CoverageInfo() obs.CoverageInfo {
+	if p.Coverage != nil {
+		return p.Coverage.Info()
+	}
+	n := p.World.VPs.Len()
+	return obs.CoverageInfo{VPsExpected: n, VPsDelivered: n}
+}
+
 // CoverageFromImport assembles the report for a degraded MRT ingest:
 // delivered VPs are counted from the collection, losses come from the
 // import stats.

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// This file exports a Trace in the Chrome trace-event JSON format, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Spans become complete
+// ("X") events; span events become thread-scoped instant ("i") events. The
+// single-threaded pipeline spine lands on track 0, and fan-out children
+// whose lifetimes partially overlap are flattened onto synthetic extra
+// tracks so viewers never see two half-overlapping slices on one row.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTraceFile is the top-level JSON object Perfetto expects.
+type chromeTraceFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// exportSpan is a lock-free copy of one span taken under the trace mutex.
+type exportSpan struct {
+	id, parent uint64
+	name, unit string
+	start, end time.Time
+	ended      bool
+	items      int64
+	attrs      []SpanAttr
+	events     []SpanEvent
+}
+
+// snapshotSpans flattens the trace into copies safe to format outside the
+// lock. Open spans get "now" as a provisional end.
+func (t *Trace) snapshotSpans(now time.Time) []exportSpan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []exportSpan
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		e := exportSpan{
+			id:    s.id,
+			name:  s.Name,
+			unit:  s.unit,
+			start: s.start,
+			end:   now,
+			ended: s.ended,
+			items: s.items.Load(),
+		}
+		if s.parent != nil {
+			e.parent = s.parent.id
+		}
+		if s.ended {
+			e.end = s.start.Add(s.dur)
+		}
+		if len(s.attrs) > 0 {
+			e.attrs = append([]SpanAttr(nil), s.attrs...)
+		}
+		if len(s.events) > 0 {
+			e.events = append([]SpanEvent(nil), s.events...)
+		}
+		out = append(out, e)
+		for _, c := range s.children {
+			walk(c)
+		}
+	}
+	for _, r := range t.roots {
+		walk(r)
+	}
+	return out
+}
+
+// assignTracks gives each span a track (tid) such that any two spans on the
+// same track are either disjoint in time or strictly nested — the invariant
+// trace viewers need to stack slices correctly. The greedy first-fit keeps
+// the sequential pipeline spine on track 0 and spills partially-overlapping
+// fan-out children onto fresh tracks.
+func assignTracks(spans []exportSpan) []int {
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := spans[order[a]], spans[order[b]]
+		if !sa.start.Equal(sb.start) {
+			return sa.start.Before(sb.start)
+		}
+		return sa.end.After(sb.end) // longer first, so containers precede content
+	})
+	tids := make([]int, len(spans))
+	var tracks [][]time.Time // per track: stack of open interval ends
+	for _, i := range order {
+		s := spans[i]
+		placed := false
+		for ti := range tracks {
+			st := tracks[ti]
+			for len(st) > 0 && !st[len(st)-1].After(s.start) {
+				st = st[:len(st)-1]
+			}
+			if len(st) == 0 || !s.end.After(st[len(st)-1]) {
+				tracks[ti] = append(st, s.end)
+				tids[i] = ti
+				placed = true
+				break
+			}
+			tracks[ti] = st
+		}
+		if !placed {
+			tracks = append(tracks, []time.Time{s.end})
+			tids[i] = len(tracks) - 1
+		}
+	}
+	return tids
+}
+
+// WriteChromeTrace renders the trace (including still-open spans) as Chrome
+// trace-event JSON. The time origin is the earliest recorded span start;
+// timestamps and durations are microseconds, with durations clamped to at
+// least 1µs so zero-length spans stay visible.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	now := time.Now()
+	spans := t.snapshotSpans(now)
+	file := chromeTraceFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	if len(spans) > 0 {
+		epoch := spans[0].start
+		for _, s := range spans {
+			if s.start.Before(epoch) {
+				epoch = s.start
+			}
+		}
+		tids := assignTracks(spans)
+		maxTID := 0
+		for _, tid := range tids {
+			if tid > maxTID {
+				maxTID = tid
+			}
+		}
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", PID: 1,
+			Args: map[string]any{"name": "countryrank"},
+		})
+		for tid := 0; tid <= maxTID; tid++ {
+			label := "pipeline"
+			if tid > 0 {
+				label = "fan-out"
+			}
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: 1, TID: tid,
+				Args: map[string]any{"name": label},
+			})
+		}
+		for i, s := range spans {
+			args := map[string]any{"span_id": s.id}
+			if s.parent != 0 {
+				args["parent_id"] = s.parent
+			}
+			if s.items > 0 {
+				args[nonEmpty(s.unit, "items")] = s.items
+				if d := s.end.Sub(s.start); d > 0 {
+					args["per_second"] = float64(s.items) / d.Seconds()
+				}
+			}
+			if !s.ended {
+				args["open"] = true
+			}
+			for _, a := range s.attrs {
+				args[a.Key] = a.Value
+			}
+			dur := s.end.Sub(s.start).Microseconds()
+			if dur < 1 {
+				dur = 1
+			}
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: s.name, Phase: "X",
+				TS: s.start.Sub(epoch).Microseconds(), Dur: dur,
+				PID: 1, TID: tids[i], Args: args,
+			})
+			for _, ev := range s.events {
+				file.TraceEvents = append(file.TraceEvents, chromeEvent{
+					Name: ev.Name, Phase: "i",
+					TS:  ev.At.Sub(epoch).Microseconds(),
+					PID: 1, TID: tids[i], Scope: "t",
+					Args: map[string]any{"span_id": s.id},
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}

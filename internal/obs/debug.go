@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -11,10 +12,13 @@ import (
 
 // NewDebugMux builds the debug endpoint set every cmd shares:
 //
-//	/metrics      Prometheus text exposition of the Default registry
-//	/healthz      liveness probe ("ok")
-//	/debug/vars   expvar JSON (includes the countryrank metric bridge)
-//	/debug/pprof  the standard pprof profile index
+//	/metrics         Prometheus text exposition of the Default registry
+//	/healthz         liveness probe ("ok")
+//	/debug/vars      expvar JSON (includes the countryrank metric bridge)
+//	/debug/pprof     the standard pprof profile index
+//	/debug/trace     Chrome trace-event JSON snapshot of the DefaultTrace
+//	/debug/timeline  ring-buffer metric timeline JSON (empty series when
+//	                 no timeline sampler is installed)
 func NewDebugMux() *http.ServeMux {
 	PublishExpvar()
 	mux := http.NewServeMux()
@@ -26,6 +30,19 @@ func NewDebugMux() *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = DefaultTrace.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/debug/timeline", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		if tl := GetDefaultTimeline(); tl != nil {
+			_ = enc.Encode(tl.Snapshot())
+			return
+		}
+		_ = enc.Encode(TimelineData{Series: map[string][]float64{}, OffsetsMS: []int64{}})
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -35,15 +52,17 @@ func NewDebugMux() *http.ServeMux {
 	return mux
 }
 
-// ServeDebug starts the debug server on addr (host:port; port 0 picks a free
-// one) and returns the bound address. The server runs on a background
-// goroutine for the life of the process.
-func ServeDebug(addr string) (string, error) {
+// ServeDebug starts the debug server on addr (host:port; port 0 picks a
+// free one) and returns the bound address plus a closer that shuts the
+// server down and releases its listener. Earlier revisions leaked the
+// http.Server for the life of the process; callers (CmdFlags.Done) now
+// close it once the linger window ends.
+func ServeDebug(addr string) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: debug listen %s: %w", addr, err)
+		return "", nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: NewDebugMux(), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
 }

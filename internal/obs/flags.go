@@ -1,60 +1,158 @@
 package obs
 
 import (
+	"context"
 	"flag"
 	"log/slog"
 	"os"
+	"os/signal"
 	"time"
 )
 
 // CmdFlags is the observability flag set every cmd shares: structured-log
-// verbosity, the opt-in debug server, and a linger window that keeps the
-// process (and its /metrics endpoint) alive after the work finishes so CI
-// smoke tests and humans can scrape a completed run.
+// verbosity, the opt-in debug server, a linger window that keeps the
+// process (and its /metrics endpoint) alive after the work finishes, and
+// the run's export artifacts — a Chrome trace (-trace-out), a provenance
+// manifest (-manifest), and a live metric timeline (-timeline).
 type CmdFlags struct {
-	cmd       string
-	Verbosity *int
-	DebugAddr *string
-	Linger    *time.Duration
+	cmd         string
+	fs          *flag.FlagSet
+	Verbosity   *int
+	DebugAddr   *string
+	Linger      *time.Duration
+	TraceOut    *string
+	ManifestOut *string
+	SampleEvery *time.Duration
+
+	// Manifest is the run's provenance record, created by Init. Cmds
+	// enrich it (Seed, AddInput, SetCoverage, SetDrops) as the run learns
+	// its inputs; Done finalizes and writes it when -manifest was given.
+	Manifest *RunManifest
+
+	start     time.Time
+	boundAddr string
+	shutdown  func()
+	timeline  *Timeline
+	// testInterrupt substitutes for SIGINT delivery in tests; when nil,
+	// Done listens for a real interrupt during the linger window.
+	testInterrupt <-chan struct{}
 }
 
-// Flags registers -v, -debug-addr, and -debug-linger on the default flag
-// set. Call before flag.Parse, then Init after it.
-func Flags(cmd string) *CmdFlags {
+// Flags registers the shared observability flags on the default flag set.
+// Call before flag.Parse, then Init after it.
+func Flags(cmd string) *CmdFlags { return FlagsOn(flag.CommandLine, cmd) }
+
+// FlagsOn registers the shared observability flags on fs (the testable
+// entry point; Flags uses the process default set).
+func FlagsOn(fs *flag.FlagSet, cmd string) *CmdFlags {
 	return &CmdFlags{
 		cmd:       cmd,
-		Verbosity: flag.Int("v", 0, "log verbosity: 0 info, 1 debug stage logs"),
-		DebugAddr: flag.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this host:port"),
-		Linger:    flag.Duration("debug-linger", 0, "keep the debug server up this long after finishing (requires -debug-addr)"),
+		fs:        fs,
+		Verbosity: fs.Int("v", 0, "log verbosity: 0 info, 1 debug stage logs"),
+		DebugAddr: fs.String("debug-addr", "", "serve /metrics, /healthz, expvar, pprof, /debug/trace and /debug/timeline on this host:port"),
+		Linger:    fs.Duration("debug-linger", 0, "keep the debug server up this long after finishing (requires -debug-addr; SIGINT cuts it short)"),
+		TraceOut:  fs.String("trace-out", "", "write the run's stage spans as Chrome trace-event JSON (Perfetto-loadable) to this path"),
+		ManifestOut: fs.String("manifest", "",
+			"write a run provenance manifest (flags, seeds, input digests, coverage, drops, metrics, span tree) as JSON to this path"),
+		SampleEvery: fs.Duration("timeline", 0,
+			"sample all registry metrics at this interval into the /debug/timeline ring buffer (0 disables)"),
 	}
 }
 
-// Init installs the slog default logger at the requested verbosity and, when
-// -debug-addr was given, starts the debug server. Call right after
+// Init installs the slog default logger at the requested verbosity, starts
+// the provenance manifest, and, when -debug-addr was given, the debug
+// server (plus the -timeline sampler when enabled). Call right after
 // flag.Parse.
 func (f *CmdFlags) Init() {
+	f.start = time.Now()
 	level := slog.LevelInfo
 	if *f.Verbosity >= 1 {
 		level = slog.LevelDebug
 	}
 	h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
 	slog.SetDefault(slog.New(h).With("cmd", f.cmd))
+	f.Manifest = NewRunManifest(f.cmd, f.fs)
 	if *f.DebugAddr != "" {
-		addr, err := ServeDebug(*f.DebugAddr)
+		addr, shutdown, err := ServeDebug(*f.DebugAddr)
 		if err != nil {
 			slog.Error("debug server failed", "err", err)
 			os.Exit(1)
 		}
+		f.boundAddr = addr
+		f.shutdown = shutdown
 		slog.Info("debug server listening", "addr", addr)
+	}
+	if *f.SampleEvery > 0 {
+		f.timeline = NewTimeline(Default, *f.SampleEvery, 600)
+		f.timeline.Start()
+		SetDefaultTimeline(f.timeline)
 	}
 }
 
-// Done blocks for the -debug-linger window (a no-op without -debug-addr or
-// with a zero linger). Call it at the end of main, after the run's output.
+// Done finishes the run's observability: it stops the timeline sampler,
+// writes the -trace-out and -manifest artifacts, blocks for the
+// -debug-linger window (a no-op without -debug-addr or with a zero linger;
+// SIGINT cuts the wait short), and finally shuts the debug server down.
+// Call it at the end of main, after the run's output.
 func (f *CmdFlags) Done() {
+	if f.timeline != nil {
+		f.timeline.Stop()
+		if slog.Default().Enabled(context.Background(), slog.LevelDebug) {
+			os.Stderr.WriteString("metric timeline:\n" + f.timeline.Sparkline())
+		}
+	}
+	if *f.TraceOut != "" {
+		if err := writeTraceFile(*f.TraceOut); err != nil {
+			slog.Error("trace export failed", "path", *f.TraceOut, "err", err)
+		} else {
+			slog.Info("trace written", "path", *f.TraceOut)
+		}
+	}
+	if *f.ManifestOut != "" && f.Manifest != nil {
+		f.Manifest.Finish(time.Since(f.start), Default.Snapshot(), DefaultTrace.Render())
+		if err := f.Manifest.WriteFile(*f.ManifestOut); err != nil {
+			slog.Error("manifest export failed", "path", *f.ManifestOut, "err", err)
+		} else {
+			slog.Info("manifest written", "path", *f.ManifestOut)
+		}
+	}
+	f.linger()
+	if f.shutdown != nil {
+		f.shutdown()
+		f.shutdown = nil
+	}
+}
+
+// linger blocks for the -debug-linger window, returning early on SIGINT so
+// an operator (or CI harness) can release a lingering process without
+// waiting out the full window.
+func (f *CmdFlags) linger() {
 	if *f.DebugAddr == "" || *f.Linger <= 0 {
 		return
 	}
+	interrupted := f.testInterrupt
+	if interrupted == nil {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		interrupted = ctx.Done()
+	}
 	slog.Info("lingering for scrapes", "for", *f.Linger)
-	time.Sleep(*f.Linger)
+	select {
+	case <-time.After(*f.Linger):
+	case <-interrupted:
+		slog.Info("linger cut short by interrupt")
+	}
+}
+
+// writeTraceFile snapshots the DefaultTrace as Chrome trace-event JSON.
+func writeTraceFile(path string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := DefaultTrace.WriteChromeTrace(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
 }

@@ -174,7 +174,7 @@ func TestSpanTree(t *testing.T) {
 		t.Fatalf("TotalItems = %d %q, want 104 records", n, unit)
 	}
 	out := tr.Render()
-	for _, frag := range []string{"pipeline", "sanitize", "kernels", "[100 records]", "%"} {
+	for _, frag := range []string{"pipeline", "sanitize", "kernels", "[100 records", "/s]", "%"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("Render missing %q:\n%s", frag, out)
 		}

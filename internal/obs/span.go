@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,7 @@ type Trace struct {
 	mu      sync.Mutex
 	roots   []*Span
 	current *Span
+	nextID  uint64
 
 	// OnStart and OnEnd, when set, are invoked for every span as it opens
 	// and closes — the hook -progress style streaming reports attach to.
@@ -37,6 +39,7 @@ type Span struct {
 	Name  string
 	trace *Trace
 
+	id       uint64
 	parent   *Span
 	children []*Span
 	start    time.Time
@@ -46,12 +49,31 @@ type Span struct {
 
 	items atomic.Int64
 	unit  string
+
+	attrs  []SpanAttr
+	events []SpanEvent
+}
+
+// A SpanAttr is one key/value annotation on a span, carried into the
+// exported trace (and shown as args in Perfetto).
+type SpanAttr struct {
+	Key   string
+	Value any
+}
+
+// A SpanEvent is a timestamped point-in-time marker inside a span,
+// exported as an instant event on the span's track.
+type SpanEvent struct {
+	Name string
+	At   time.Time
 }
 
 // Start opens a root-or-nested span in the trace.
 func (t *Trace) Start(name string) *Span {
 	s := &Span{Name: name, trace: t, start: time.Now()}
 	t.mu.Lock()
+	t.nextID++
+	s.id = t.nextID
 	if t.current != nil && !t.current.ended {
 		s.parent = t.current
 		s.depth = t.current.depth + 1
@@ -77,6 +99,8 @@ func (s *Span) Child(name string) *Span {
 	c := &Span{Name: name, trace: s.trace, parent: s, depth: s.depth + 1, start: time.Now()}
 	t := s.trace
 	t.mu.Lock()
+	t.nextID++
+	c.id = t.nextID
 	s.children = append(s.children, c)
 	hook := t.OnStart
 	t.mu.Unlock()
@@ -84,6 +108,54 @@ func (s *Span) Child(name string) *Span {
 		hook(c)
 	}
 	return c
+}
+
+// ID returns the span's trace-unique identifier (1-based, in start order).
+func (s *Span) ID() uint64 { return s.id }
+
+// SetAttr attaches (or replaces) a key/value annotation on the span. Values
+// should be JSON-encodable; they surface in the exported Chrome trace args.
+func (s *Span) SetAttr(key string, value any) {
+	t := s.trace
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, SpanAttr{Key: key, Value: value})
+}
+
+// Attrs returns a copy of the span's annotations.
+func (s *Span) Attrs() []SpanAttr {
+	t := s.trace
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanAttr, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Event records a timestamped marker inside the span (a retry, a phase
+// boundary…), exported as an instant event on the span's trace track.
+func (s *Span) Event(name string) {
+	ev := SpanEvent{Name: name, At: time.Now()}
+	t := s.trace
+	t.mu.Lock()
+	s.events = append(s.events, ev)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the span's recorded events.
+func (s *Span) Events() []SpanEvent {
+	t := s.trace
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanEvent, len(s.events))
+	copy(out, s.events)
+	return out
 }
 
 // AddItems accumulates a work count on the span (trials run, records
@@ -124,6 +196,9 @@ func (s *Span) End() time.Duration {
 		}
 		if items > 0 {
 			attrs = append(attrs, slog.Int64(nonEmpty(unit, "items"), items))
+			if d > 0 {
+				attrs = append(attrs, slog.String("rate", formatRate(float64(items)/d.Seconds())+"/s"))
+			}
 		}
 		l.LogAttrs(context.Background(), slog.LevelDebug, "stage done", attrs...)
 	}
@@ -198,12 +273,22 @@ func (s *Span) renderLocked(b *strings.Builder, indent int, parentDur time.Durat
 	if !s.ended {
 		d = time.Since(s.start)
 	}
-	fmt.Fprintf(b, "%*s%-*s %10s", indent*2, "", 32-indent*2, s.Name, d.Round(time.Microsecond))
+	// Deep trees would drive the name padding negative past depth 16, which
+	// %-*s rejects ("%!(BADWIDTH)"); clamp so arbitrarily deep spans render.
+	pad := 32 - indent*2
+	if pad < 0 {
+		pad = 0
+	}
+	fmt.Fprintf(b, "%*s%-*s %10s", indent*2, "", pad, s.Name, d.Round(time.Microsecond))
 	if parentDur > 0 {
 		fmt.Fprintf(b, " %5.1f%%", 100*float64(d)/float64(parentDur))
 	}
 	if n := s.items.Load(); n > 0 {
-		fmt.Fprintf(b, "  [%d %s]", n, nonEmpty(s.unit, "items"))
+		fmt.Fprintf(b, "  [%d %s", n, nonEmpty(s.unit, "items"))
+		if d > 0 {
+			fmt.Fprintf(b, ", %s/s", formatRate(float64(n)/d.Seconds()))
+		}
+		b.WriteByte(']')
 	}
 	if !s.ended {
 		b.WriteString("  (open)")
@@ -212,6 +297,15 @@ func (s *Span) renderLocked(b *strings.Builder, indent int, parentDur time.Durat
 	for _, c := range s.children {
 		c.renderLocked(b, indent+1, d)
 	}
+}
+
+// formatRate renders an items-per-second rate compactly: whole numbers once
+// the rate is fast, three significant digits below that.
+func formatRate(r float64) string {
+	if r >= 100 {
+		return strconv.FormatFloat(r, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(r, 'g', 3, 64)
 }
 
 // Reset discards all recorded spans (primarily for tests).

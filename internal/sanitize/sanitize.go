@@ -105,6 +105,21 @@ type Stats struct {
 // Rejected returns the count of non-accepted records.
 func (s Stats) Rejected() int { return s.Total - s.Counts[Accepted] }
 
+// Drops converts the accounting to its run-manifest form: total/accepted/
+// rejected plus the per-reason drop counts keyed by Reason name.
+func (s Stats) Drops() obs.DropStats {
+	d := obs.DropStats{
+		Total:    s.Total,
+		Accepted: s.Counts[Accepted],
+		Rejected: s.Rejected(),
+		ByReason: make(map[string]int, int(numReasons)-1),
+	}
+	for r := Unstable; r < numReasons; r++ {
+		d.ByReason[r.String()] = s.Counts[r]
+	}
+	return d
+}
+
 // Pct returns the percentage of all records with the given reason.
 func (s Stats) Pct(r Reason) float64 {
 	if s.Total == 0 {

@@ -7,7 +7,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo '--- gofmt'
-unformatted=$(gofmt -l ./cmd ./internal ./*.go)
+unformatted=$(gofmt -l ./cmd ./internal ./scripts ./*.go)
 if [[ -n "$unformatted" ]]; then
     echo "gofmt needed:" >&2
     echo "$unformatted" >&2
@@ -35,17 +35,19 @@ echo '--- chaos soak (collector under injected faults, -race, bounded)'
 # to a fault-free run with reconnects and resumes actually observed.
 go test -race -run TestChaosSoak -count=1 -timeout 120s ./internal/collector
 
-echo '--- obs smoke (asrank -debug-addr, scrape /healthz and /metrics)'
+echo '--- obs smoke (asrank -debug-addr, scrape endpoints, validate artifacts)'
 # Run a small asrank with the debug server up and -debug-linger holding it
-# alive after the run, then assert the endpoints answer and the sanitize /
-# kernel instrumentation actually moved during the run.
+# alive after the run, then assert the endpoints answer, the sanitize /
+# kernel instrumentation actually moved during the run, and the exported
+# trace + provenance manifest parse and carry the required sections.
 obs_port=$((20000 + RANDOM % 20000))
 obs_dir=$(mktemp -d)
 obs_log="$obs_dir/asrank.log"
 obs_metrics="$obs_dir/metrics.txt"
 go build -o "$obs_dir/asrank" ./cmd/asrank
 "$obs_dir/asrank" -scale 0.15 -vpscale 0.2 -top 3 \
-    -debug-addr "127.0.0.1:$obs_port" -debug-linger 60s >"$obs_log" 2>&1 &
+    -debug-addr "127.0.0.1:$obs_port" -debug-linger 60s -timeline 250ms \
+    -trace-out "$obs_dir/trace.json" -manifest "$obs_dir/manifest.json" >"$obs_log" 2>&1 &
 obs_pid=$!
 trap 'kill "$obs_pid" 2>/dev/null || true; rm -rf "$obs_dir"' EXIT
 
@@ -80,6 +82,22 @@ require_nonzero countryrank_sanitize_accepted_total
 require_nonzero countryrank_routing_paths_propagated_total
 require_nonzero countryrank_core_kernel_cone_seconds_count
 require_nonzero countryrank_core_kernel_hegemony_seconds_count
+
+# The trace and manifest are written at Done, before the linger window, so
+# poll briefly for both files and then validate them with the Go checker
+# (structure, schema version, and the sections a real run must populate).
+for _ in $(seq 1 60); do
+    [[ -s "$obs_dir/trace.json" && -s "$obs_dir/manifest.json" ]] && break
+    sleep 1
+done
+go run ./scripts/checkartifacts \
+    -manifest "$obs_dir/manifest.json" -trace "$obs_dir/trace.json" \
+    -require seeds,coverage,sanitize_drops
+
+# The timeline sampler must have accumulated history by now.
+curl -fsS "http://127.0.0.1:$obs_port/debug/timeline" |
+    grep -q countryrank_core_kernel_hegemony_seconds_count
+curl -fsS "http://127.0.0.1:$obs_port/debug/trace" | grep -q traceEvents
 kill "$obs_pid" 2>/dev/null || true
 wait "$obs_pid" 2>/dev/null || true
 
