@@ -6,9 +6,12 @@ package countryrank
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"net"
 	"net/netip"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -57,6 +60,49 @@ func BenchmarkPropagation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		routing.BuildCollection(w, routing.BuildOptions{})
+	}
+}
+
+// BenchmarkPropagationSequential pins the sharded build to one shard: the
+// single-threaded baseline the sharded numbers are compared against.
+func BenchmarkPropagationSequential(b *testing.B) {
+	w := topology.Build(topology.Config{Seed: 1, StubScale: 0.3, VPScale: 0.3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		routing.BuildCollection(w, routing.BuildOptions{Shards: 1})
+	}
+}
+
+// BenchmarkPropagationSharded runs the default shard fan-out (4×GOMAXPROCS
+// origin shards merged in order). On a single-core host it documents the
+// sharding overhead floor; with more cores it shows the speedup.
+func BenchmarkPropagationSharded(b *testing.B) {
+	w := topology.Build(topology.Config{Seed: 1, StubScale: 0.3, VPScale: 0.3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		routing.BuildCollection(w, routing.BuildOptions{})
+	}
+}
+
+// BenchmarkBuildCollectionSpill measures the out-of-core build: routes are
+// streamed to columnar runs on disk instead of accumulating in RAM.
+func BenchmarkBuildCollectionSpill(b *testing.B) {
+	w := topology.Build(topology.Config{Seed: 1, StubScale: 0.3, VPScale: 0.3})
+	root := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir := filepath.Join(root, fmt.Sprintf("it-%d", i))
+		if err := os.Mkdir(dir, 0o755); err != nil {
+			b.Fatal(err)
+		}
+		col, err := routing.BuildCollectionWith(w, routing.BuildOptions{SpillDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		col.Close()
+		os.RemoveAll(dir)
+		b.StartTimer()
 	}
 }
 
@@ -372,6 +418,29 @@ func BenchmarkMRTImport(b *testing.B) {
 			streams[j] = bytes.NewReader(d)
 		}
 		if _, err := routing.ImportMRT(mrtBenchWorld, streams); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(mrtBenchRecs), "records/op")
+}
+
+// BenchmarkMRTImportFiles measures the chunk-parallel file importer: each
+// dump is pre-scanned for record boundaries and decoded by a worker pool,
+// the path crank -mrt takes.
+func BenchmarkMRTImportFiles(b *testing.B) {
+	mrtBenchSetup(b)
+	dir := b.TempDir()
+	paths := make([]string, len(mrtBenchDumps))
+	for i, d := range mrtBenchDumps {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("dump-%02d.mrt", i))
+		if err := os.WriteFile(paths[i], d, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(mrtDumpBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := routing.ImportMRTFiles(mrtBenchWorld, paths, routing.ImportOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

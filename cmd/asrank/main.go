@@ -27,6 +27,7 @@ import (
 	"countryrank/internal/core"
 	"countryrank/internal/countries"
 	"countryrank/internal/obs"
+	"countryrank/internal/routing"
 )
 
 func main() {
@@ -35,12 +36,17 @@ func main() {
 	vpscale := flag.Float64("vpscale", 1, "VP-count scale factor")
 	top := flag.Int("top", 20, "entries per ranking")
 	ahc := flag.String("ahc", "", "also print the AHC baseline for this country code")
+	shards := flag.Int("shards", 0, "propagation shards (0 = 4×GOMAXPROCS)")
+	spillDir := flag.String("spill-dir", "", "spill records to columnar runs under this directory instead of RAM")
 	ofl := obs.Flags("asrank")
 	flag.Parse()
 	ofl.Init()
 
 	ofl.Manifest.Seed("world", *seed)
-	p := core.NewPipeline(core.Options{Seed: *seed, StubScale: *scale, VPScale: *vpscale})
+	p := core.NewPipeline(core.Options{
+		Seed: *seed, StubScale: *scale, VPScale: *vpscale,
+		Routing: routing.BuildOptions{Shards: *shards, SpillDir: *spillDir},
+	})
 	slog.Debug("pipeline ready", "accepted", p.DS.Len())
 	ofl.Manifest.SetCoverage(p.CoverageInfo())
 	ofl.Manifest.SetDrops(p.DS.Stats.Drops())

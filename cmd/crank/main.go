@@ -21,7 +21,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"log/slog"
 	"os"
 	"path/filepath"
@@ -41,6 +40,8 @@ func main() {
 	mrtDir := flag.String("mrt", "", "directory of MRT dumps from topogen (same seed/scale)")
 	metric := flag.String("metric", "all", "metric to print")
 	top := flag.Int("top", 10, "entries per ranking")
+	shards := flag.Int("shards", 0, "propagation shards (0 = 4×GOMAXPROCS)")
+	spillDir := flag.String("spill-dir", "", "spill records to columnar runs under this directory instead of RAM")
 	ofl := obs.Flags("crank")
 	flag.Parse()
 	ofl.Init()
@@ -55,7 +56,7 @@ func main() {
 	if *mrtDir != "" {
 		var err error
 		var paths []string
-		col, paths, err = loadMRT(w, *mrtDir)
+		col, paths, err = loadMRT(w, *mrtDir, routing.ImportOptions{SpillDir: *spillDir})
 		if err != nil {
 			slog.Error("MRT import failed", "dir", *mrtDir, "err", err)
 			os.Exit(1)
@@ -65,9 +66,14 @@ func main() {
 				slog.Warn("input digest failed", "path", path, "err", err)
 			}
 		}
-		slog.Info("loaded MRT dumps", "records", len(col.Records), "dir", *mrtDir)
+		slog.Info("loaded MRT dumps", "records", col.NumRecords(), "dir", *mrtDir)
 	} else {
-		col = routing.BuildCollection(w, routing.BuildOptions{})
+		var err error
+		col, err = routing.BuildCollectionWith(w, routing.BuildOptions{Shards: *shards, SpillDir: *spillDir})
+		if err != nil {
+			slog.Error("build collection", "err", err)
+			os.Exit(1)
+		}
 	}
 	p := core.NewPipelineFrom(w, col, core.Options{Seed: *seed})
 	ofl.Manifest.SetCoverage(p.CoverageInfo())
@@ -106,36 +112,22 @@ func main() {
 
 // loadMRT imports every .mrt file in dir against the world's VP set,
 // returning the collection and the imported file paths (for provenance
-// digests).
-func loadMRT(w *topology.World, dir string) (*routing.Collection, []string, error) {
+// digests). Files decode chunk-parallel via ImportMRTFiles.
+func loadMRT(w *topology.World, dir string, opt routing.ImportOptions) (*routing.Collection, []string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	var readers []io.Reader
-	var files []*os.File
 	var paths []string
-	defer func() {
-		for _, f := range files {
-			f.Close()
-		}
-	}()
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".mrt") {
 			continue
 		}
-		path := filepath.Join(dir, e.Name())
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, nil, err
-		}
-		files = append(files, f)
-		readers = append(readers, f)
-		paths = append(paths, path)
+		paths = append(paths, filepath.Join(dir, e.Name()))
 	}
-	if len(readers) == 0 {
+	if len(paths) == 0 {
 		return nil, nil, fmt.Errorf("no .mrt files in %s", dir)
 	}
-	col, err := routing.ImportMRT(w, readers)
+	col, _, err := routing.ImportMRTFiles(w, paths, opt)
 	return col, paths, err
 }

@@ -35,6 +35,8 @@ func main() {
 	vpscale := flag.Float64("vpscale", 1, "VP-count scale factor")
 	scenario := flag.String("scenario", string(topology.Apr2021), "snapshot scenario")
 	out := flag.String("out", "", "output directory for MRT files (required)")
+	shards := flag.Int("shards", 0, "propagation shards (0 = 4×GOMAXPROCS)")
+	spillDir := flag.String("spill-dir", "", "spill records to columnar runs under this directory instead of RAM")
 	ofl := obs.Flags("topogen")
 	flag.Parse()
 	ofl.Init()
@@ -50,7 +52,11 @@ func main() {
 		StubScale: *scale,
 		VPScale:   *vpscale,
 	})
-	col := routing.BuildCollection(w, routing.BuildOptions{})
+	col, err := routing.BuildCollectionWith(w, routing.BuildOptions{Shards: *shards, SpillDir: *spillDir})
+	if err != nil {
+		slog.Error("build collection", "err", err)
+		os.Exit(1)
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		slog.Error("create output directory", "dir", *out, "err", err)
@@ -78,6 +84,6 @@ func main() {
 	fmt.Printf("world: %d ASes, %d edges, %d prefixes, %d VPs\n",
 		w.Graph.NumASes(), w.Graph.NumEdges(), len(col.Prefixes), w.VPs.Len())
 	fmt.Printf("collection: %d records across %d collectors → %s\n",
-		len(col.Records), files, *out)
+		col.NumRecords(), files, *out)
 	ofl.Done()
 }

@@ -88,9 +88,12 @@ func (p *Pipeline) CoverageInfo() obs.CoverageInfo {
 // import stats.
 func CoverageFromImport(vpsExpected int, col *routing.Collection, stats routing.ImportStats) Coverage {
 	seen := map[int32]bool{}
-	for _, r := range col.Records {
-		seen[r.VP] = true
-	}
+	col.ForEachRecord(func(_ int, recs []routing.Record) error {
+		for _, r := range recs {
+			seen[r.VP] = true
+		}
+		return nil
+	})
 	return Coverage{
 		VPsExpected:  vpsExpected,
 		VPsDelivered: len(seen),

@@ -212,7 +212,7 @@ func NewPipeline(opt Options) *Pipeline {
 	ts.End()
 	ps := sp.Child("propagation")
 	col := routing.BuildCollection(w, opt.Routing)
-	ps.AddItems(int64(len(col.Records)), "records")
+	ps.AddItems(int64(col.NumRecords()), "records")
 	ps.End()
 	return process(w, col, opt, sp)
 }

@@ -1,0 +1,74 @@
+package mrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Section is a byte range of an MRT stream covering whole records:
+// [Start, End).
+type Section struct {
+	Start, End int64
+}
+
+// IndexSections walks the record headers of an MRT stream — headers only,
+// bodies are skipped — and splits it at record boundaries into sections of
+// roughly target bytes each. The first section always covers exactly the
+// first record: for TABLE_DUMP_V2 dumps that is the PEER_INDEX_TABLE, which
+// a parallel chunk decoder must replay in front of every other section.
+//
+// Headers are validated with the same plausibility check the resync scanner
+// uses. An implausible header or a truncated record aborts the index with an
+// error: the caller falls back to sequential decode, which owns all error
+// reporting and recovery. An empty stream indexes to no sections.
+func IndexSections(r io.Reader, target int64) ([]Section, error) {
+	if target <= 0 {
+		target = 4 << 20
+	}
+	br := bufio.NewReaderSize(r, 1<<16)
+	var (
+		sections []Section
+		hdr      [recordHeaderLen]byte
+		off      int64
+		open     = false // a section is accumulating records
+		start    int64
+	)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("mrt: section index: header at %d: %w", off, err)
+		}
+		if !plausibleHeader(hdr[:]) {
+			return nil, fmt.Errorf("mrt: section index: implausible header at %d", off)
+		}
+		length := int64(binary.BigEndian.Uint32(hdr[8:]))
+		if _, err := br.Discard(int(length)); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, fmt.Errorf("mrt: section index: body at %d: %w", off, err)
+		}
+		end := off + recordHeaderLen + length
+		switch {
+		case len(sections) == 0:
+			// The first record is its own section.
+			sections = append(sections, Section{Start: off, End: end})
+		case !open:
+			start, open = off, true
+		}
+		if open && end-start >= target {
+			sections = append(sections, Section{Start: start, End: end})
+			open = false
+		}
+		off = end
+	}
+	if open {
+		sections = append(sections, Section{Start: start, End: off})
+	}
+	return sections, nil
+}

@@ -1,0 +1,93 @@
+package ribstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// BucketSet is the intermediate of an external group-by: the records of a
+// Set partitioned into numbered buckets, each small enough to load, sort
+// and emit in memory. Stream order is preserved within every bucket, so a
+// stable in-bucket sort reproduces exactly what the same stable sort over
+// the whole resident stream would have produced.
+type BucketSet struct {
+	dirs []string
+}
+
+// Buckets partitions every record of s into n bucket runs under dir,
+// bucketOf mapping each record to a bucket in [0, n). The spilled-export
+// path uses it with a key-range bucketOf (e.g. prefix-index ranges) so
+// that concatenating buckets 0..n-1 respects the outer sort key.
+func (s *Set) Buckets(dir string, n int, bucketOf func(Rec) int) (*BucketSet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ribstore: %d buckets", n)
+	}
+	bs := &BucketSet{dirs: make([]string, n)}
+	writers := make([]*Writer, n)
+	for i := range writers {
+		bs.dirs[i] = filepath.Join(dir, fmt.Sprintf("bucket-%04d", i))
+		// Small per-bucket output buffers: up to a few hundred files are
+		// open at once, so the default megabyte buffer would dominate RSS.
+		w, err := newWriterSize(bs.dirs[i], 64<<10)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.NextRun(i); err != nil {
+			return nil, err
+		}
+		writers[i] = w
+	}
+	var one [1]Rec
+	err := s.ForEach(func(_ int, recs []Rec) error {
+		for _, r := range recs {
+			b := bucketOf(r)
+			if b < 0 || b >= n {
+				return fmt.Errorf("ribstore: record bucketed to %d of %d", b, n)
+			}
+			one[0] = r
+			if err := writers[b].Append(one[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for _, w := range writers {
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return bs, nil
+}
+
+// Len returns the number of buckets.
+func (b *BucketSet) Len() int { return len(b.dirs) }
+
+// AppendBucket appends every record of bucket i to dst, in the order they
+// were streamed in, and returns the extended slice.
+func (b *BucketSet) AppendBucket(dst []Rec, i int) ([]Rec, error) {
+	set, err := OpenDir(b.dirs[i])
+	if err != nil {
+		return dst, err
+	}
+	defer set.Close()
+	err = set.ForEach(func(_ int, recs []Rec) error {
+		dst = append(dst, recs...)
+		return nil
+	})
+	return dst, err
+}
+
+// Remove deletes the bucket files.
+func (b *BucketSet) Remove() error {
+	var err error
+	for _, d := range b.dirs {
+		if rerr := os.RemoveAll(d); err == nil {
+			err = rerr
+		}
+	}
+	return err
+}

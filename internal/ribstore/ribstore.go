@@ -1,0 +1,378 @@
+// Package ribstore implements the out-of-core columnar record store behind
+// internet-scale collection builds: the (VP, prefix, path) triples that
+// dominate a collection's memory are written to disk in shard-ordered runs
+// of a compact columnar format and streamed back in fixed-size chunks, so a
+// run over millions of prefixes keeps only the dense side tables (prefixes,
+// origins, interned paths) resident.
+//
+// On-disk layout, one file per run (run-NNNN.crib):
+//
+//	offset 0:  magic "CRIB" (4 bytes)
+//	offset 4:  u16 format version (currently 1)
+//	offset 6:  u16 reserved (0)
+//	offset 8:  u32 shard index the run was merged from
+//	offset 12: u64 record count of the run
+//	offset 20: row groups, each:
+//	             u32 n       — records in the group (≤ GroupSize)
+//	             u32 crc32   — IEEE CRC of the 12·n payload bytes
+//	             payload     — vp[n], prefix[n], path[n]: little-endian
+//	                           int32 columns, in that order
+//	footer:    magic "BIRC" + u64 record count again
+//
+// All integers are little-endian. The trailing footer makes truncation
+// detectable (a cut file ends mid-group or without the footer) and the
+// per-group CRC makes corruption detectable without re-reading the whole
+// file to verify a single global checksum.
+package ribstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Rec is one observed (vantage point, prefix, AS path) triple in dense-index
+// form: the unit the paper's Table 1 accounts for. VP indexes the world's
+// vp.Set, Prefix the collection's prefix table, Path its interned path table.
+type Rec struct {
+	VP     int32
+	Prefix int32
+	Path   int32
+}
+
+const (
+	magic       = "CRIB"
+	footerMagic = "BIRC"
+	version     = 1
+	headerLen   = 20
+	footerLen   = 12
+
+	// GroupSize is the row-group granularity: 64Ki records ≈ 768 KiB of
+	// column payload per group, large enough to amortize CRC and syscall
+	// cost, small enough that a streaming reader's buffer stays modest.
+	GroupSize = 64 * 1024
+)
+
+// recBytes is the encoded size of one record across the three columns.
+const recBytes = 12
+
+var crcTable = crc32.IEEETable
+
+// Writer spills records into run files under a directory. Runs are numbered
+// in creation order; a shard-ordered merge that calls NextRun at each shard
+// boundary therefore produces runs whose concatenation is the canonical
+// record order.
+type Writer struct {
+	dir     string
+	bufSize int
+	runs    int
+	file    *os.File
+	buf     *bufio.Writer
+	shard   uint32
+	runRecs uint64
+	bytes   int64
+
+	// group accumulates up to GroupSize records before a flush.
+	group []Rec
+	// scratch holds one encoded group payload.
+	scratch []byte
+}
+
+// NewWriter prepares a spill writer rooted at dir, creating it if needed.
+// No run file exists until the first NextRun call.
+func NewWriter(dir string) (*Writer, error) {
+	return newWriterSize(dir, 1<<20)
+}
+
+// newWriterSize is NewWriter with an explicit output buffer size, for
+// fan-out writers (Buckets) that hold many files open at once.
+func newWriterSize(dir string, bufSize int) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ribstore: create spill dir: %w", err)
+	}
+	return &Writer{dir: dir, bufSize: bufSize}, nil
+}
+
+// NextRun closes the current run (if any) and starts a new one attributed
+// to the given shard index.
+func (w *Writer) NextRun(shard int) error {
+	if err := w.closeRun(); err != nil {
+		return err
+	}
+	path := filepath.Join(w.dir, fmt.Sprintf("run-%06d.crib", w.runs))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("ribstore: create run: %w", err)
+	}
+	w.runs++
+	w.file = f
+	w.buf = bufio.NewWriterSize(f, w.bufSize)
+	w.shard = uint32(shard)
+	w.runRecs = 0
+
+	var hdr [headerLen]byte
+	copy(hdr[:4], magic)
+	binary.LittleEndian.PutUint16(hdr[4:], version)
+	binary.LittleEndian.PutUint32(hdr[8:], w.shard)
+	// Record count back-patched at closeRun via a second write; the header
+	// slot is zero until then so a crash mid-run reads as truncated.
+	if _, err := w.buf.Write(hdr[:]); err != nil {
+		return err
+	}
+	w.bytes += headerLen
+	return nil
+}
+
+// Append spills records to the current run. NextRun must have been called.
+func (w *Writer) Append(recs []Rec) error {
+	if w.file == nil {
+		return errors.New("ribstore: Append before NextRun")
+	}
+	for len(recs) > 0 {
+		room := GroupSize - len(w.group)
+		if room > len(recs) {
+			room = len(recs)
+		}
+		w.group = append(w.group, recs[:room]...)
+		recs = recs[room:]
+		if len(w.group) == GroupSize {
+			if err := w.flushGroup(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flushGroup encodes and writes the pending row group.
+func (w *Writer) flushGroup() error {
+	n := len(w.group)
+	if n == 0 {
+		return nil
+	}
+	need := n * recBytes
+	if cap(w.scratch) < need {
+		w.scratch = make([]byte, need)
+	}
+	p := w.scratch[:need]
+	// Columnar within the group: all VPs, then all prefixes, then all paths.
+	for i, r := range w.group {
+		binary.LittleEndian.PutUint32(p[4*i:], uint32(r.VP))
+	}
+	for i, r := range w.group {
+		binary.LittleEndian.PutUint32(p[4*(n+i):], uint32(r.Prefix))
+	}
+	for i, r := range w.group {
+		binary.LittleEndian.PutUint32(p[4*(2*n+i):], uint32(r.Path))
+	}
+	var gh [8]byte
+	binary.LittleEndian.PutUint32(gh[0:], uint32(n))
+	binary.LittleEndian.PutUint32(gh[4:], crc32.Checksum(p, crcTable))
+	if _, err := w.buf.Write(gh[:]); err != nil {
+		return err
+	}
+	if _, err := w.buf.Write(p); err != nil {
+		return err
+	}
+	w.bytes += int64(8 + len(p))
+	w.runRecs += uint64(n)
+	w.group = w.group[:0]
+	return nil
+}
+
+// closeRun flushes the pending group, writes the footer, back-patches the
+// header record count, and closes the file. Empty runs are kept: a valid
+// zero-record run is still a boundary marker.
+func (w *Writer) closeRun() error {
+	if w.file == nil {
+		return nil
+	}
+	if err := w.flushGroup(); err != nil {
+		return err
+	}
+	var ft [footerLen]byte
+	copy(ft[:4], footerMagic)
+	binary.LittleEndian.PutUint64(ft[4:], w.runRecs)
+	if _, err := w.buf.Write(ft[:]); err != nil {
+		return err
+	}
+	w.bytes += footerLen
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], w.runRecs)
+	if _, err := w.file.WriteAt(cnt[:], 12); err != nil {
+		return err
+	}
+	err := w.file.Close()
+	w.file = nil
+	w.buf = nil
+	return err
+}
+
+// Close finishes the last run. The writer must not be used after.
+func (w *Writer) Close() error { return w.closeRun() }
+
+// Bytes returns the total bytes written so far, including headers/footers.
+func (w *Writer) Bytes() int64 { return w.bytes }
+
+// Runs returns how many runs have been started.
+func (w *Writer) Runs() int { return w.runs }
+
+// Set is an ordered collection of spill runs opened for streaming reads.
+type Set struct {
+	dir   string
+	paths []string
+	count int64
+}
+
+// OpenDir opens every run file under dir, in run order, validating headers
+// and footers. The per-group CRCs are verified lazily during ForEach.
+func OpenDir(dir string) (*Set, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ribstore: open spill dir: %w", err)
+	}
+	s := &Set{dir: dir}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".crib" {
+			continue
+		}
+		s.paths = append(s.paths, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(s.paths)
+	if len(s.paths) == 0 {
+		return nil, fmt.Errorf("ribstore: no run files in %s", dir)
+	}
+	for _, p := range s.paths {
+		n, err := validateRun(p)
+		if err != nil {
+			return nil, err
+		}
+		s.count += n
+	}
+	return s, nil
+}
+
+// validateRun checks a run's header and footer and returns its record count.
+func validateRun(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, fmt.Errorf("ribstore: %s: truncated header: %w", path, err)
+	}
+	if string(hdr[:4]) != magic {
+		return 0, fmt.Errorf("ribstore: %s: bad magic %q", path, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != version {
+		return 0, fmt.Errorf("ribstore: %s: unsupported version %d", path, v)
+	}
+	n := binary.LittleEndian.Uint64(hdr[12:])
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if st.Size() < headerLen+footerLen {
+		return 0, fmt.Errorf("ribstore: %s: truncated run", path)
+	}
+	var ft [footerLen]byte
+	if _, err := f.ReadAt(ft[:], st.Size()-footerLen); err != nil {
+		return 0, fmt.Errorf("ribstore: %s: footer: %w", path, err)
+	}
+	if string(ft[:4]) != footerMagic {
+		return 0, fmt.Errorf("ribstore: %s: truncated or corrupt run (missing footer)", path)
+	}
+	if fn := binary.LittleEndian.Uint64(ft[4:]); fn != n {
+		return 0, fmt.Errorf("ribstore: %s: header/footer record count mismatch (%d vs %d)", path, n, fn)
+	}
+	return int64(n), nil
+}
+
+// Len returns the total record count across all runs.
+func (s *Set) Len() int { return int(s.count) }
+
+// Runs returns the number of run files in the set.
+func (s *Set) Runs() int { return len(s.paths) }
+
+// ForEach streams every record in run order, invoking fn with the absolute
+// index of the chunk's first record and a chunk of decoded records. The
+// chunk slice is reused between calls; fn must copy whatever it keeps.
+// Group CRCs are verified as the stream advances; a mismatch, a short
+// group, or a missing footer aborts with an error.
+func (s *Set) ForEach(fn func(base int, recs []Rec) error) error {
+	base := 0
+	buf := make([]byte, GroupSize*recBytes)
+	recs := make([]Rec, GroupSize)
+	for _, path := range s.paths {
+		n, err := s.forEachRun(path, buf, recs, base, fn)
+		if err != nil {
+			return err
+		}
+		base += n
+	}
+	return nil
+}
+
+func (s *Set) forEachRun(path string, buf []byte, recs []Rec, base int, fn func(int, []Rec) error) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("ribstore: %s: header: %w", path, err)
+	}
+	want := binary.LittleEndian.Uint64(hdr[12:])
+	read := uint64(0)
+	for read < want {
+		var gh [8]byte
+		if _, err := io.ReadFull(r, gh[:]); err != nil {
+			return 0, fmt.Errorf("ribstore: %s: truncated group header: %w", path, err)
+		}
+		n := int(binary.LittleEndian.Uint32(gh[0:]))
+		if n <= 0 || n > GroupSize || read+uint64(n) > want {
+			return 0, fmt.Errorf("ribstore: %s: implausible group size %d", path, n)
+		}
+		p := buf[:n*recBytes]
+		if _, err := io.ReadFull(r, p); err != nil {
+			return 0, fmt.Errorf("ribstore: %s: truncated group: %w", path, err)
+		}
+		if got, wantCRC := crc32.Checksum(p, crcTable), binary.LittleEndian.Uint32(gh[4:]); got != wantCRC {
+			return 0, fmt.Errorf("ribstore: %s: group CRC mismatch at record %d (corrupt spill file)", path, base+int(read))
+		}
+		out := recs[:n]
+		for i := range out {
+			out[i] = Rec{
+				VP:     int32(binary.LittleEndian.Uint32(p[4*i:])),
+				Prefix: int32(binary.LittleEndian.Uint32(p[4*(n+i):])),
+				Path:   int32(binary.LittleEndian.Uint32(p[4*(2*n+i):])),
+			}
+		}
+		if err := fn(base+int(read), out); err != nil {
+			return 0, err
+		}
+		read += uint64(n)
+	}
+	var ft [footerLen]byte
+	if _, err := io.ReadFull(r, ft[:]); err != nil || string(ft[:4]) != footerMagic {
+		return 0, fmt.Errorf("ribstore: %s: truncated or corrupt run (missing footer)", path)
+	}
+	return int(read), nil
+}
+
+// Close releases the set. Run files are opened per ForEach pass, so Close
+// only exists to satisfy the store contract (and future mmap readers).
+func (s *Set) Close() error { return nil }

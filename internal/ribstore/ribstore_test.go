@@ -1,0 +1,261 @@
+package ribstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// genRecs builds a deterministic record sequence long enough to span
+// multiple row groups.
+func genRecs(n int) []Rec {
+	recs := make([]Rec, n)
+	for i := range recs {
+		recs[i] = Rec{
+			VP:     int32(i % 257),
+			Prefix: int32(i % 8191),
+			Path:   int32(i * 7 % 65537),
+		}
+	}
+	return recs
+}
+
+// writeRuns spills recs into nRuns runs under dir and returns the writer's
+// byte count.
+func writeRuns(t *testing.T, dir string, recs []Rec, nRuns int) int64 {
+	t.Helper()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < nRuns; r++ {
+		if err := w.NextRun(r); err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := r*len(recs)/nRuns, (r+1)*len(recs)/nRuns
+		// Append in uneven slivers to exercise group batching.
+		for lo < hi {
+			step := 1000
+			if lo+step > hi {
+				step = hi - lo
+			}
+			if err := w.Append(recs[lo : lo+step]); err != nil {
+				t.Fatal(err)
+			}
+			lo += step
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return w.Bytes()
+}
+
+// readAll streams every record of the set into one slice, checking that the
+// chunk bases are contiguous.
+func readAll(t *testing.T, s *Set) []Rec {
+	t.Helper()
+	var out []Rec
+	err := s.ForEach(func(base int, recs []Rec) error {
+		if base != len(out) {
+			t.Fatalf("chunk base = %d, want %d", base, len(out))
+		}
+		out = append(out, recs...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRoundTripMultiRun(t *testing.T) {
+	// More than two full groups, split across runs, so the stream crosses
+	// both group and run boundaries (and one run gets a partial last group).
+	recs := genRecs(2*GroupSize + 12345)
+	dir := t.TempDir()
+	bytes := writeRuns(t, dir, recs, 3)
+
+	s, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Runs() != 3 {
+		t.Fatalf("runs = %d, want 3", s.Runs())
+	}
+	if s.Len() != len(recs) {
+		t.Fatalf("len = %d, want %d", s.Len(), len(recs))
+	}
+	got := readAll(t, s)
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	// The writer's byte accounting must match what landed on disk.
+	var onDisk int64
+	for _, p := range s.paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onDisk += st.Size()
+	}
+	if bytes != onDisk {
+		t.Fatalf("Writer.Bytes() = %d, on disk %d", bytes, onDisk)
+	}
+}
+
+func TestEmptyRunIsValidBoundary(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.NextRun(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.Runs() != 1 {
+		t.Fatalf("len=%d runs=%d, want 0 and 1", s.Len(), s.Runs())
+	}
+	if got := readAll(t, s); len(got) != 0 {
+		t.Fatalf("read %d records from empty run", len(got))
+	}
+}
+
+func TestTruncatedRunRejected(t *testing.T) {
+	recs := genRecs(GroupSize + 100)
+	dir := t.TempDir()
+	writeRuns(t, dir, recs, 1)
+	path := filepath.Join(dir, "run-000000.crib")
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file mid-group: the footer vanishes, OpenDir must refuse.
+	if err := os.Truncate(path, st.Size()-footerLen-10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(dir); err == nil {
+		t.Fatal("OpenDir accepted a truncated run")
+	} else if !strings.Contains(err.Error(), "footer") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCorruptGroupRejected(t *testing.T) {
+	recs := genRecs(GroupSize + 100)
+	dir := t.TempDir()
+	writeRuns(t, dir, recs, 1)
+	path := filepath.Join(dir, "run-000000.crib")
+
+	// Flip one payload byte inside the first group. Header and footer stay
+	// intact, so OpenDir succeeds and the CRC check during ForEach trips.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	off := int64(headerLen + 8 + 1000)
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	err = s.ForEach(func(int, []Rec) error { return nil })
+	if err == nil {
+		t.Fatal("ForEach accepted a corrupt group")
+	}
+	if !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestOpenDirRejectsMissingAndBadRuns(t *testing.T) {
+	if _, err := OpenDir(t.TempDir()); err == nil {
+		t.Fatal("OpenDir accepted a directory with no runs")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "run-000000.crib"), []byte("NOPE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(dir); err == nil {
+		t.Fatal("OpenDir accepted a garbage run file")
+	}
+}
+
+func TestBucketsPartitionPreservesOrder(t *testing.T) {
+	recs := genRecs(3*GroupSize + 777)
+	dir := t.TempDir()
+	writeRuns(t, dir, recs, 2)
+	s, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nb = 7
+	const nKeys = 8191 // Prefix ranges over [0, 8191)
+	bucketOf := func(r Rec) int { return int(int64(r.Prefix) * nb / nKeys) }
+	bs, err := s.Buckets(filepath.Join(dir, "buckets"), nb, bucketOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bs.Remove()
+	if bs.Len() != nb {
+		t.Fatalf("buckets = %d, want %d", bs.Len(), nb)
+	}
+
+	// Each bucket must hold exactly the records mapping to it, in stream
+	// order; concatenating buckets must lose or duplicate nothing.
+	total := 0
+	for b := 0; b < nb; b++ {
+		var want []Rec
+		for _, r := range recs {
+			if bucketOf(r) == b {
+				want = append(want, r)
+			}
+		}
+		got, err := bs.AppendBucket(nil, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("bucket %d: %d records, want %d", b, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("bucket %d record %d = %+v, want %+v", b, i, got[i], want[i])
+			}
+		}
+		total += len(got)
+	}
+	if total != len(recs) {
+		t.Fatalf("buckets hold %d records, want %d", total, len(recs))
+	}
+
+	// Out-of-range bucket assignment must fail loudly.
+	if _, err := s.Buckets(filepath.Join(dir, "bad"), 2, func(Rec) int { return 5 }); err == nil {
+		t.Fatal("Buckets accepted an out-of-range bucket index")
+	}
+}

@@ -1,17 +1,19 @@
 package routing
 
 import (
+	"fmt"
 	"math/rand"
 	"net/netip"
 	"runtime"
 	"slices"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"countryrank/internal/asn"
 	"countryrank/internal/bgp"
 	"countryrank/internal/obs"
+	"countryrank/internal/par"
+	"countryrank/internal/ribstore"
 	"countryrank/internal/topology"
 	"countryrank/internal/vp"
 )
@@ -23,15 +25,18 @@ var (
 		"(VP, prefix, path) records assembled into collections")
 	mPropagateSeconds = obs.NewHistogram("countryrank_routing_propagate_seconds",
 		"duration of one full-collection route propagation", nil)
+	mShardsDone = obs.NewCounter("countryrank_routing_shards_done_total",
+		"propagation shards completed and merged into a collection")
+	mSpillBytes = obs.NewCounter("countryrank_routing_spill_bytes_total",
+		"bytes written to out-of-core columnar record spill runs")
 )
 
 // Record is one observed (vantage point, prefix, AS path) triple: the unit
-// the paper's Table 1 accounts for and every metric consumes.
-type Record struct {
-	VP     int32 // index into the world's vp.Set
-	Prefix int32 // index into Collection.Prefixes
-	Path   int32 // index into Collection.Paths
-}
+// the paper's Table 1 accounts for and every metric consumes. It is an
+// alias of the columnar store's record, so spilled runs and resident slices
+// share one layout: VP indexes the world's vp.Set, Prefix indexes
+// Collection.Prefixes, Path indexes Collection.Paths.
+type Record = ribstore.Rec
 
 // Collection is a multi-day observation of the world from its vantage
 // points: the synthetic equivalent of the five daily RIB snapshots the paper
@@ -42,8 +47,13 @@ type Collection struct {
 	// Origin[i] is the origin AS of Prefixes[i].
 	Origin []asn.ASN
 	Paths  []bgp.Path
-	// Records holds every (VP, prefix, path) observation of the base day.
+	// Records holds every (VP, prefix, path) observation of the base day
+	// when the collection is resident. Spilled collections (BuildOptions.
+	// SpillDir) keep Records nil and stream from disk instead; consumers
+	// that want to work in either mode use NumRecords and ForEachRecord.
 	Records []Record
+	// spill is non-nil when the records live on disk.
+	spill *spillRecords
 	// Stable[i] reports whether Prefixes[i] was announced on every one of
 	// the Days daily snapshots; unstable prefixes are filtered by the
 	// sanitizer (Table 1's largest reject class after VP location).
@@ -53,6 +63,92 @@ type Collection struct {
 	DayMask []uint16
 	Days    int
 }
+
+// RIBStore is the record plane of a Collection: the canonical-order stream
+// of (VP, prefix, path) triples, resident or out-of-core. Everything
+// downstream of propagation — the sanitizer, MRT export, coverage — reads
+// records only through this contract, so a spilled collection flows through
+// the pipeline without ever materializing its record slice.
+type RIBStore interface {
+	// NumRecords returns the total record count.
+	NumRecords() int
+	// ForEachRecord streams every record in canonical order, calling fn
+	// with the absolute index of each chunk's first record. The chunk slice
+	// may be reused between calls; fn must copy whatever it keeps.
+	ForEachRecord(fn func(base int, recs []Record) error) error
+	// Spilled reports whether the records live on disk.
+	Spilled() bool
+	// Close releases any on-disk resources. The spill files themselves are
+	// kept: they belong to the caller-chosen spill directory.
+	Close() error
+}
+
+// memRecords adapts a resident record slice to the RIBStore contract.
+type memRecords struct{ recs []Record }
+
+func (m memRecords) NumRecords() int { return len(m.recs) }
+func (m memRecords) Spilled() bool   { return false }
+func (m memRecords) Close() error    { return nil }
+
+func (m memRecords) ForEachRecord(fn func(int, []Record) error) error {
+	// Chunked like the spilled store, so consumers behave identically in
+	// both modes instead of growing accidental whole-slice dependencies.
+	for base := 0; base < len(m.recs); base += ribstore.GroupSize {
+		end := base + ribstore.GroupSize
+		if end > len(m.recs) {
+			end = len(m.recs)
+		}
+		if err := fn(base, m.recs[base:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spillRecords adapts an on-disk run set to the RIBStore contract.
+type spillRecords struct {
+	set   *ribstore.Set
+	bytes int64
+}
+
+func (s *spillRecords) NumRecords() int { return s.set.Len() }
+func (s *spillRecords) Spilled() bool   { return true }
+func (s *spillRecords) Close() error    { return s.set.Close() }
+
+func (s *spillRecords) ForEachRecord(fn func(int, []Record) error) error {
+	return s.set.ForEach(fn)
+}
+
+// Store returns the collection's record plane.
+func (c *Collection) Store() RIBStore {
+	if c.spill != nil {
+		return c.spill
+	}
+	return memRecords{c.Records}
+}
+
+// NumRecords returns the collection's record count, resident or spilled.
+func (c *Collection) NumRecords() int { return c.Store().NumRecords() }
+
+// ForEachRecord streams the records in canonical order (see RIBStore).
+func (c *Collection) ForEachRecord(fn func(base int, recs []Record) error) error {
+	return c.Store().ForEachRecord(fn)
+}
+
+// Spilled reports whether the records live on disk.
+func (c *Collection) Spilled() bool { return c.spill != nil }
+
+// SpillBytes returns how many bytes the collection's spill runs occupy
+// (0 for resident collections).
+func (c *Collection) SpillBytes() int64 {
+	if c.spill == nil {
+		return 0
+	}
+	return c.spill.bytes
+}
+
+// Close releases the collection's record store.
+func (c *Collection) Close() error { return c.Store().Close() }
 
 // PresentOn reports whether prefix pi was announced on day d.
 func (c *Collection) PresentOn(pi int32, day int) bool {
@@ -73,6 +169,16 @@ type BuildOptions struct {
 	PoisonFrac  float64
 	UnallocFrac float64
 	Seed        int64
+	// Shards splits propagation into this many contiguous origin ranges,
+	// propagated in parallel and merged in shard order; the output is
+	// byte-identical for every shard count and GOMAXPROCS. 0 picks
+	// 4×GOMAXPROCS. 1 is the sequential baseline.
+	Shards int
+	// SpillDir, when set, spills the records to columnar run files under
+	// the directory instead of holding them resident (one run per shard);
+	// the collection then streams them back via ForEachRecord. The run
+	// files persist after the collection is closed.
+	SpillDir string
 }
 
 func (o BuildOptions) withDefaults(w *topology.World) BuildOptions {
@@ -100,12 +206,26 @@ func (o BuildOptions) withDefaults(w *topology.World) BuildOptions {
 // BuildCollection propagates every origin's routes across the world and
 // records the best path each vantage point exports, then injects the
 // real-world dirt (loops, poisoned paths, unallocated ASNs, day-to-day
-// instability) the sanitizer must handle.
+// instability) the sanitizer must handle. Spill failures (BuildOptions.
+// SpillDir on a broken disk) panic; use BuildCollectionWith to handle them.
 func BuildCollection(w *topology.World, opt BuildOptions) *Collection {
+	col, err := BuildCollectionWith(w, opt)
+	if err != nil {
+		panic(fmt.Sprintf("routing: collection spill: %v", err))
+	}
+	return col
+}
+
+// BuildCollectionWith is BuildCollection with spill-failure reporting. The
+// only error source is I/O on BuildOptions.SpillDir; with no spill
+// directory it never fails.
+func BuildCollectionWith(w *topology.World, opt BuildOptions) (*Collection, error) {
 	start := time.Now()
 	opt = opt.withDefaults(w)
 	g := w.Graph
 	rng := rand.New(rand.NewSource(opt.Seed))
+	sp := obs.StartSpan("propagate")
+	defer sp.End()
 
 	col := &Collection{World: w, Days: opt.Days}
 
@@ -146,73 +266,11 @@ func BuildCollection(w *topology.World, opt BuildOptions) *Collection {
 		vps = append(vps, vpAt{int32(i), node, v.Feed})
 	}
 
-	// Propagate origins in parallel; merge per-origin results in origin
-	// order so the collection is deterministic regardless of scheduling.
-	type vpRoute struct {
-		vpIdx int32
-		path  bgp.Path
-	}
-	perOrigin := make([][]vpRoute, g.NumASes())
-	g.ASNs() // warm the cache once; workers then only read it
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	next := int32(0)
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			st := newPropState(g)
-			for {
-				origin := atomic.AddInt32(&next, 1) - 1
-				if origin >= int32(g.NumASes()) {
-					return
-				}
-				if len(byOrigin[origin]) == 0 {
-					continue
-				}
-				propagate(g, origin, st)
-				var routes []vpRoute
-				for _, v := range vps {
-					cls := st.class[v.node]
-					if cls == classNone {
-						continue
-					}
-					// Customer-feed VPs export only customer-learned (or
-					// own) routes, like a peer applying export policy.
-					if v.feed == vp.CustomerFeed && cls > classCustomer {
-						continue
-					}
-					routes = append(routes, vpRoute{v.vpIdx, extractPath(g, st, v.node)})
-				}
-				perOrigin[origin] = routes
-			}
-		}()
-	}
-	wg.Wait()
-	// Size the output exactly: repeated append-doubling of multi-megabyte
-	// slices dominates the profile otherwise. Paths are hash-consed — many
-	// VPs export the same route toward an origin — so the interner sizes to
-	// the upper bound and the final table is typically much smaller.
-	var nPaths, nRecs int
-	for origin := range perOrigin {
-		nPaths += len(perOrigin[origin])
-		nRecs += len(perOrigin[origin]) * len(byOrigin[origin])
-	}
-	it := bgp.NewInterner(nPaths)
-	col.Records = make([]Record, 0, nRecs)
-	for origin := int32(0); origin < int32(g.NumASes()); origin++ {
-		pfxs := byOrigin[origin]
-		for _, rt := range perOrigin[origin] {
-			pi := it.InternOwned(rt.path)
-			for _, pfx := range pfxs {
-				col.Records = append(col.Records, Record{VP: rt.vpIdx, Prefix: pfx, Path: pi})
-			}
-		}
-	}
-	col.Paths = it.Paths()
-
 	// Day-to-day instability: stable prefixes appear in every daily RIB;
-	// unstable ones flap, missing at least one day.
+	// unstable ones flap, missing at least one day. Drawn before the merge
+	// so the spill sink can stream records straight to disk; the rng
+	// sequence matches the historical order (no draws happen mid-merge
+	// except the per-record anomaly draws that always followed these).
 	col.Stable = make([]bool, len(col.Prefixes))
 	col.DayMask = make([]uint16, len(col.Prefixes))
 	full := uint16(1<<opt.Days) - 1
@@ -238,97 +296,287 @@ func BuildCollection(w *topology.World, opt BuildOptions) *Collection {
 		col.DayMask[i] = mask
 	}
 
-	col.injectAnomalies(rng, opt)
-	mPathsPropagated.Add(int64(nPaths))
-	mRecordsBuilt.Add(int64(len(col.Records)))
+	// Shard plan: contiguous ranges over the origins that announce
+	// anything, so merging shards in index order IS origin order — the
+	// canonical record order, independent of GOMAXPROCS and shard count.
+	var active []int32
+	for origin := int32(0); origin < int32(g.NumASes()); origin++ {
+		if len(byOrigin[origin]) > 0 {
+			active = append(active, origin)
+		}
+	}
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = 4 * runtime.GOMAXPROCS(0)
+	}
+	if shards > len(active) {
+		shards = len(active)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	sp.AddItems(0, "shards")
+
+	sink, err := newRecordSink(col, opt.SpillDir)
+	if err != nil {
+		return nil, err
+	}
+	if opt.SpillDir == "" {
+		// Size the output up front: repeated append-doubling of
+		// multi-megabyte slices dominates the profile otherwise. Nearly
+		// every full-feed VP has a route to every origin, so records ≈
+		// VPs × prefixes; customer feeds make this a mild overestimate.
+		est := len(vps) * len(col.Prefixes)
+		const maxEst = 64 << 20
+		if est > maxEst {
+			est = maxEst
+		}
+		col.Records = make([]Record, 0, est)
+	}
+
+	// Per-shard propagation states are pooled: OrderedMap runs at most
+	// GOMAXPROCS producers, so the pool holds that many states at peak no
+	// matter how many shards the run splits into.
+	g.ASNs() // warm the cache once; workers then only read it
+	statePool := sync.Pool{New: func() any { return newPropState(g) }}
+
+	// One shard's routes, grouped by origin: counts[k] routes belong to the
+	// k-th origin of the shard, flattened into vpIdxs/paths.
+	type shardRoutes struct {
+		counts []int32
+		vpIdxs []int32
+		paths  []bgp.Path
+	}
+	produce := func(si int) shardRoutes {
+		lo, hi := si*len(active)/shards, (si+1)*len(active)/shards
+		st := statePool.Get().(*propState)
+		defer statePool.Put(st)
+		var out shardRoutes
+		for _, origin := range active[lo:hi] {
+			propagate(g, origin, st)
+			n0 := len(out.vpIdxs)
+			for _, v := range vps {
+				cls := st.class[v.node]
+				if cls == classNone {
+					continue
+				}
+				// Customer-feed VPs export only customer-learned (or
+				// own) routes, like a peer applying export policy.
+				if v.feed == vp.CustomerFeed && cls > classCustomer {
+					continue
+				}
+				out.vpIdxs = append(out.vpIdxs, v.vpIdx)
+				out.paths = append(out.paths, extractPath(g, st, v.node))
+			}
+			out.counts = append(out.counts, int32(len(out.vpIdxs)-n0))
+		}
+		return out
+	}
+
+	// The merge runs on this goroutine in strict shard order: intern each
+	// route's path, fan it out across the origin's prefixes, inject the
+	// per-record anomalies (rng draws stay in record order), and hand each
+	// origin's batch to the sink. Peak resident record state is one
+	// origin's batch plus the bounded window of produced-but-unmerged
+	// shards — never the whole collection.
+	an := newAnomalizer(w, rng, opt)
+	it := bgp.NewInterner(0)
+	var nRoutes int64
+	var recBuf []Record
+	consume := func(si int, rt shardRoutes) {
+		if sink.err != nil {
+			return
+		}
+		if err := sink.nextShard(si); err != nil {
+			return
+		}
+		lo, hi := si*len(active)/shards, (si+1)*len(active)/shards
+		k := 0
+		for oi, origin := range active[lo:hi] {
+			pfxs := byOrigin[origin]
+			recBuf = recBuf[:0]
+			for j := int32(0); j < rt.counts[oi]; j++ {
+				vpIdx, path := rt.vpIdxs[k], rt.paths[k]
+				k++
+				pi := it.InternOwned(path)
+				for _, pfx := range pfxs {
+					rec := Record{VP: vpIdx, Prefix: pfx, Path: pi}
+					if mutated := an.maybeMutate(path); mutated != nil {
+						rec.Path = it.InternOwned(mutated)
+					}
+					recBuf = append(recBuf, rec)
+				}
+			}
+			if err := sink.append(recBuf); err != nil {
+				return
+			}
+		}
+		nRoutes += int64(len(rt.vpIdxs))
+		mShardsDone.Inc()
+		sp.AddItems(1, "")
+	}
+	par.OrderedMap(shards, 0, produce, consume)
+	col.Paths = it.Paths()
+	if err := sink.finish(); err != nil {
+		return nil, err
+	}
+
+	mPathsPropagated.Add(nRoutes)
+	mRecordsBuilt.Add(int64(col.NumRecords()))
 	mPropagateSeconds.Observe(time.Since(start))
-	return col
+	return col, nil
 }
 
-// injectAnomalies corrupts a small fraction of records the way public BGP
-// data is corrupted: AS path loops, poisoned paths (a non-clique AS wedged
-// between two clique ASes), and unallocated ASNs.
-func (c *Collection) injectAnomalies(rng *rand.Rand, opt BuildOptions) {
-	g := c.World.Graph
-	cliqueSet := map[asn.ASN]bool{}
-	for _, a := range c.World.Clique {
-		cliqueSet[a] = true
+// anomalizer corrupts a small fraction of records the way public BGP data
+// is corrupted: AS path loops, poisoned paths (a non-clique AS wedged
+// between two clique ASes), and unallocated ASNs. One rng draw per record,
+// in record order, keeps the injection deterministic under sharding.
+type anomalizer struct {
+	rng       *rand.Rand
+	opt       BuildOptions
+	cliqueSet map[asn.ASN]bool
+	stubPool  []asn.ASN
+}
+
+func newAnomalizer(w *topology.World, rng *rand.Rand, opt BuildOptions) *anomalizer {
+	g := w.Graph
+	a := &anomalizer{rng: rng, opt: opt, cliqueSet: map[asn.ASN]bool{}}
+	for _, c := range w.Clique {
+		a.cliqueSet[c] = true
 	}
 	// A pool of real stub ASNs for poisoning payloads.
-	var stubPool []asn.ASN
 	for i := int32(0); i < int32(g.NumASes()); i++ {
 		if g.Node(i).Class == topology.ClassStub {
-			stubPool = append(stubPool, g.Node(i).ASN)
-			if len(stubPool) >= 64 {
+			a.stubPool = append(a.stubPool, g.Node(i).ASN)
+			if len(a.stubPool) >= 64 {
 				break
 			}
 		}
 	}
-	slices.Sort(stubPool)
-
-	mutate := func(idx int, f func(bgp.Path) bgp.Path) {
-		old := c.Paths[c.Records[idx].Path]
-		mutated := f(old.Clone())
-		if mutated == nil {
-			return
-		}
-		c.Records[idx].Path = int32(len(c.Paths))
-		c.Paths = append(c.Paths, mutated)
-	}
-
-	for i := range c.Records {
-		r := rng.Float64()
-		switch {
-		case r < opt.LoopFrac:
-			mutate(i, func(p bgp.Path) bgp.Path {
-				if len(p) < 3 {
-					return nil
-				}
-				// Re-insert the first hop later in the path: A B A B C.
-				out := make(bgp.Path, 0, len(p)+2)
-				out = append(out, p[0], p[1], p[0])
-				out = append(out, p[1:]...)
-				return out
-			})
-		case r < opt.LoopFrac+opt.PoisonFrac:
-			mutate(i, func(p bgp.Path) bgp.Path {
-				if len(stubPool) == 0 {
-					return nil
-				}
-				// Insert a stub between two adjacent clique ASes.
-				for j := 0; j+1 < len(p); j++ {
-					if cliqueSet[p[j]] && cliqueSet[p[j+1]] && !p.Contains(stubPool[0]) {
-						out := make(bgp.Path, 0, len(p)+1)
-						out = append(out, p[:j+1]...)
-						out = append(out, stubPool[rng.Intn(len(stubPool))])
-						out = append(out, p[j+1:]...)
-						if out.HasNonAdjacentLoop() {
-							return nil
-						}
-						return out
-					}
-				}
-				return nil
-			})
-		case r < opt.LoopFrac+opt.PoisonFrac+opt.UnallocFrac:
-			mutate(i, func(p bgp.Path) bgp.Path {
-				if len(p) < 2 {
-					return nil
-				}
-				// Leak a private-use ASN mid-path.
-				out := make(bgp.Path, 0, len(p)+1)
-				out = append(out, p[0], asn.ASN(64512+rng.Intn(1000)))
-				out = append(out, p[1:]...)
-				return out
-			})
-		}
-	}
+	slices.Sort(a.stubPool)
+	return a
 }
 
-// PathOf returns the path of record i.
+// maybeMutate draws one record's anomaly verdict and returns the corrupted
+// path, or nil to keep the original.
+func (a *anomalizer) maybeMutate(p bgp.Path) bgp.Path {
+	r := a.rng.Float64()
+	switch opt := a.opt; {
+	case r < opt.LoopFrac:
+		if len(p) < 3 {
+			return nil
+		}
+		// Re-insert the first hop later in the path: A B A B C.
+		out := make(bgp.Path, 0, len(p)+2)
+		out = append(out, p[0], p[1], p[0])
+		out = append(out, p[1:]...)
+		return out
+	case r < opt.LoopFrac+opt.PoisonFrac:
+		if len(a.stubPool) == 0 {
+			return nil
+		}
+		// Insert a stub between two adjacent clique ASes.
+		for j := 0; j+1 < len(p); j++ {
+			if a.cliqueSet[p[j]] && a.cliqueSet[p[j+1]] && !p.Contains(a.stubPool[0]) {
+				out := make(bgp.Path, 0, len(p)+1)
+				out = append(out, p[:j+1]...)
+				out = append(out, a.stubPool[a.rng.Intn(len(a.stubPool))])
+				out = append(out, p[j+1:]...)
+				if out.HasNonAdjacentLoop() {
+					return nil
+				}
+				return out
+			}
+		}
+		return nil
+	case r < opt.LoopFrac+opt.PoisonFrac+opt.UnallocFrac:
+		if len(p) < 2 {
+			return nil
+		}
+		// Leak a private-use ASN mid-path.
+		out := make(bgp.Path, 0, len(p)+1)
+		out = append(out, p[0], asn.ASN(64512+a.rng.Intn(1000)))
+		out = append(out, p[1:]...)
+		return out
+	}
+	return nil
+}
+
+// recordSink routes merged records to their destination: the resident
+// Records slice, or one columnar spill run per shard.
+type recordSink struct {
+	col *Collection
+	wr  *ribstore.Writer
+	dir string
+	err error
+}
+
+func newRecordSink(col *Collection, spillDir string) (*recordSink, error) {
+	s := &recordSink{col: col, dir: spillDir}
+	if spillDir != "" {
+		wr, err := ribstore.NewWriter(spillDir)
+		if err != nil {
+			return nil, err
+		}
+		s.wr = wr
+	}
+	return s, nil
+}
+
+// nextShard marks a shard (spill run) boundary.
+func (s *recordSink) nextShard(i int) error {
+	if s.wr == nil {
+		return nil
+	}
+	if err := s.wr.NextRun(i); err != nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// append adds one batch of records in canonical order.
+func (s *recordSink) append(recs []Record) error {
+	if s.wr == nil {
+		s.col.Records = append(s.col.Records, recs...)
+		return nil
+	}
+	if err := s.wr.Append(recs); err != nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// finish closes the spill runs and attaches the on-disk store.
+func (s *recordSink) finish() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.wr == nil {
+		return nil
+	}
+	if s.wr.Runs() == 0 {
+		// An empty collection still needs one valid (zero-record) run so
+		// the directory opens cleanly.
+		if err := s.wr.NextRun(0); err != nil {
+			return err
+		}
+	}
+	if err := s.wr.Close(); err != nil {
+		return err
+	}
+	set, err := ribstore.OpenDir(s.dir)
+	if err != nil {
+		return err
+	}
+	s.col.spill = &spillRecords{set: set, bytes: s.wr.Bytes()}
+	mSpillBytes.Add(s.wr.Bytes())
+	return nil
+}
+
+// PathOf returns the path of record i (resident collections only).
 func (c *Collection) PathOf(i int) bgp.Path { return c.Paths[c.Records[i].Path] }
 
-// PrefixOf returns the prefix of record i.
+// PrefixOf returns the prefix of record i (resident collections only).
 func (c *Collection) PrefixOf(i int) netip.Prefix { return c.Prefixes[c.Records[i].Prefix] }
 
 // AnnouncedPrefixes returns the distinct announced prefixes.

@@ -1,15 +1,19 @@
 package routing
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net/netip"
+	"os"
 
 	"countryrank/internal/asn"
 	"countryrank/internal/bgp"
 	"countryrank/internal/mrt"
 	"countryrank/internal/obs"
 	"countryrank/internal/par"
+	"countryrank/internal/ribstore"
 	"countryrank/internal/topology"
 )
 
@@ -54,28 +58,80 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// countingScatter stably distributes src into dst grouped by ascending
-// key(v), with nKeys bounding the key space. Two chained passes implement an
+// scatterRecords stably distributes src into dst grouped by ascending
+// key(r), with nKeys bounding the key space. Two chained passes implement an
 // LSD radix sort over a composite key; one pass is a stable group-by that
 // replaces a map plus sort.Slice when the keys are dense indexes.
-func countingScatter(src, dst []int32, nKeys int, key func(int32) int32) {
+func scatterRecords(src, dst []Record, nKeys int, key func(Record) int32) {
 	cnt := make([]int32, nKeys+1)
-	for _, v := range src {
-		cnt[key(v)+1]++
+	for _, r := range src {
+		cnt[key(r)+1]++
 	}
 	for k := 0; k < nKeys; k++ {
 		cnt[k+1] += cnt[k]
 	}
-	for _, v := range src {
-		k := key(v)
-		dst[cnt[k]] = v
+	for _, r := range src {
+		k := key(r)
+		dst[cnt[k]] = r
 		cnt[k]++
 	}
+}
+
+// exportBuckets picks how many prefix- or VP-range buckets a spilled export
+// partitions its records into: enough that one bucket's records sit
+// comfortably in memory, few enough that the bucket writers' buffers don't.
+func exportBuckets(nRecs int) int {
+	const perBucket = 1 << 20 // records resident at once (~12 MB)
+	n := nRecs/perBucket + 1
+	if n > 256 {
+		n = 256
+	}
+	return n
+}
+
+// forEachKeyRange streams a spilled collection's records through emit in
+// ascending ranges of key (a monotone record field: prefix or VP index): an
+// external group-by via on-disk bucket partitioning. Records arrive at emit
+// in canonical order within each range, so emit sees exactly the slices a
+// resident run would cut from the globally sorted stream.
+func forEachKeyRange(c *Collection, nKeys int, key func(ribstore.Rec) int32, emit func([]Record) error) error {
+	if c.NumRecords() == 0 || nKeys == 0 {
+		return nil
+	}
+	tmp, err := os.MkdirTemp("", "countryrank-export-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	nb := exportBuckets(c.NumRecords())
+	if nb > nKeys {
+		nb = nKeys
+	}
+	bs, err := c.spill.set.Buckets(tmp, nb, func(r ribstore.Rec) int {
+		return int(int64(key(r)) * int64(nb) / int64(nKeys))
+	})
+	if err != nil {
+		return err
+	}
+	var buf []Record
+	for i := 0; i < nb; i++ {
+		buf, err = bs.AppendBucket(buf[:0], i)
+		if err != nil {
+			return err
+		}
+		if err := emit(buf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ExportMRT writes the collection's base-day RIB for one collector as a
 // TABLE_DUMP_V2 stream: the same interchange format RouteViews and RIS
 // publish, so downstream tooling can consume simulated dumps unchanged.
+// Spilled collections are exported by streaming prefix-range buckets
+// through the same group emitter, never holding the full record set
+// resident; the output is byte-identical to the resident export.
 func ExportMRT(w io.Writer, c *Collection, collector string, timestamp uint32) error {
 	set := c.World.VPs
 	coll, ok := set.Collector(collector)
@@ -103,64 +159,90 @@ func ExportMRT(w io.Writer, c *Collection, collector string, timestamp uint32) e
 		return err
 	}
 
-	// Emit RIB records grouped by ascending prefix index with ascending VP
-	// inside each group: two counting-sort passes over the dense (prefix,
-	// VP) key, least significant digit first, so the VP order survives the
-	// stable scatter by prefix.
-	var keep []int32
-	for i, r := range c.Records {
-		if peerOf[r.VP] >= 0 {
-			keep = append(keep, int32(i))
-		}
-	}
-	byVP := make([]int32, len(keep))
-	countingScatter(keep, byVP, set.Len(), func(ri int32) int32 { return c.Records[ri].VP })
-	countingScatter(byVP, keep, len(c.Prefixes), func(ri int32) int32 { return c.Records[ri].Prefix })
-
+	// emit writes one prefix-contiguous batch of records, arriving in
+	// canonical order: two counting-sort passes group them by ascending
+	// prefix index with ascending VP inside each group — least significant
+	// digit first, so the VP order survives the stable scatter by prefix —
+	// then each prefix group becomes one RIB record.
+	//
 	// entries and its parallel AS_SEQUENCE segments reuse scratch across
 	// groups; segScratch is fully built before entries reference it, since
 	// growing it mid-group would leave earlier ASPath slices pointing at
-	// the retired array.
+	// the retired array. keepBuf filters without touching the batch, so the
+	// resident path can pass c.Records itself — no copy of the full slice.
 	var entries []mrt.RIBEntry
 	var segScratch []bgp.Segment
-	for s := 0; s < len(keep); {
-		p := c.Records[keep[s]].Prefix
-		e := s
-		for e < len(keep) && c.Records[keep[e]].Prefix == p {
-			e++
-		}
-		segScratch = segScratch[:0]
-		for _, ri := range keep[s:e] {
-			segScratch = append(segScratch, bgp.Segment{
-				Type: bgp.SegmentSequence,
-				ASNs: c.Paths[c.Records[ri].Path],
-			})
-		}
-		entries = entries[:0]
-		for i, ri := range keep[s:e] {
-			r := c.Records[ri]
-			var seq bgp.ASPath
-			if len(segScratch[i].ASNs) > 0 {
-				seq = segScratch[i : i+1 : i+1]
+	var keepBuf, scratch []Record
+	var nOut int64
+	emit := func(batch []Record) error {
+		keepBuf = keepBuf[:0]
+		for _, r := range batch {
+			if peerOf[r.VP] >= 0 {
+				keepBuf = append(keepBuf, r)
 			}
-			entries = append(entries, mrt.RIBEntry{
-				PeerIndex:    uint16(peerOf[r.VP]),
-				OriginatedAt: timestamp,
-				Attrs: bgp.AttrSet{
-					Origin: bgp.OriginIGP,
-					ASPath: seq,
-				},
-			})
 		}
-		if err := mw.WriteRIB(c.Prefixes[p], entries); err != nil {
+		keep := keepBuf
+		if len(keep) == 0 {
+			return nil
+		}
+		if cap(scratch) < len(keep) {
+			scratch = make([]Record, len(keep))
+		}
+		byVP := scratch[:len(keep)]
+		scatterRecords(keep, byVP, set.Len(), func(r Record) int32 { return r.VP })
+		scatterRecords(byVP, keep, len(c.Prefixes), func(r Record) int32 { return r.Prefix })
+		for s := 0; s < len(keep); {
+			p := keep[s].Prefix
+			e := s
+			for e < len(keep) && keep[e].Prefix == p {
+				e++
+			}
+			segScratch = segScratch[:0]
+			for _, r := range keep[s:e] {
+				segScratch = append(segScratch, bgp.Segment{
+					Type: bgp.SegmentSequence,
+					ASNs: c.Paths[r.Path],
+				})
+			}
+			entries = entries[:0]
+			for i, r := range keep[s:e] {
+				var seq bgp.ASPath
+				if len(segScratch[i].ASNs) > 0 {
+					seq = segScratch[i : i+1 : i+1]
+				}
+				entries = append(entries, mrt.RIBEntry{
+					PeerIndex:    uint16(peerOf[r.VP]),
+					OriginatedAt: timestamp,
+					Attrs: bgp.AttrSet{
+						Origin: bgp.OriginIGP,
+						ASPath: seq,
+					},
+				})
+			}
+			if err := mw.WriteRIB(c.Prefixes[p], entries); err != nil {
+				return err
+			}
+			s = e
+		}
+		nOut += int64(len(keep))
+		return nil
+	}
+
+	if c.Spilled() {
+		err := forEachKeyRange(c, len(c.Prefixes),
+			func(r ribstore.Rec) int32 { return r.Prefix }, emit)
+		if err != nil {
 			return err
 		}
-		s = e
+	} else {
+		if err := emit(c.Records); err != nil {
+			return err
+		}
 	}
 	if err := mw.Flush(); err != nil {
 		return err
 	}
-	mMRTRecordsOut.Add(int64(len(keep)))
+	mMRTRecordsOut.Add(nOut)
 	mMRTBytesOut.Add(cw.n)
 	return nil
 }
@@ -170,7 +252,7 @@ func ExportMRT(w io.Writer, c *Collection, collector string, timestamp uint32) e
 // UPDATE announcing each prefix that appeared relative to day-1 and
 // withdrawing each prefix that vanished. Combined with the day-0 RIB this
 // reconstructs any day's table, the way RouteViews consumers replay
-// rib + updates archives.
+// rib + updates archives. Spilled collections stream VP-range buckets.
 func ExportUpdatesMRT(w io.Writer, c *Collection, collector string, day int, timestamp uint32) error {
 	if day <= 0 || day >= c.Days {
 		return fmt.Errorf("routing: day %d outside 1..%d", day, c.Days-1)
@@ -184,56 +266,78 @@ func ExportUpdatesMRT(w io.Writer, c *Collection, collector string, day int, tim
 	mw := mrt.NewWriter(cw, timestamp)
 	collectorIP := netip.AddrFrom4([4]byte{192, 0, 2, 1})
 
-	// One stable counting pass groups the collector's records by ascending
-	// VP while keeping record order within each VP.
-	keep := make([]int32, 0, len(c.Records))
-	for i, r := range c.Records {
-		if set.VP(int(r.VP)).Collector == collector {
-			keep = append(keep, int32(i))
-		}
-	}
-	order := make([]int32, len(keep))
-	countingScatter(keep, order, set.Len(), func(ri int32) int32 { return c.Records[ri].VP })
-
+	// emit writes one VP-contiguous batch: a stable counting pass groups the
+	// collector's records by ascending VP while keeping record order within
+	// each VP, then each changed prefix becomes one UPDATE.
 	var raw []byte
+	var keepBuf, scratch []Record
 	var nOut int64
-	for _, ri := range order {
-		r := c.Records[ri]
-		v := set.VP(int(r.VP))
-		was := c.PresentOn(r.Prefix, day-1)
-		is := c.PresentOn(r.Prefix, day)
-		if was == is {
-			continue
-		}
-		var u bgp.Update
-		pfx := c.Prefixes[r.Prefix]
-		switch {
-		case is && pfx.Addr().Is4():
-			u = bgp.Update{
-				ASPath:    bgp.SequencePath(c.Paths[r.Path]),
-				NextHop:   v.Addr,
-				Announced: []netip.Prefix{pfx},
+	emit := func(batch []Record) error {
+		keepBuf = keepBuf[:0]
+		for _, r := range batch {
+			if set.VP(int(r.VP)).Collector == collector {
+				keepBuf = append(keepBuf, r)
 			}
-		case is:
-			u = bgp.Update{
-				ASPath:      bgp.SequencePath(c.Paths[r.Path]),
-				V6NextHop:   v6NextHop,
-				V6Announced: []netip.Prefix{pfx},
-			}
-		case pfx.Addr().Is4():
-			u = bgp.Update{Withdrawn: []netip.Prefix{pfx}}
-		default:
-			u = bgp.Update{V6Withdrawn: []netip.Prefix{pfx}}
 		}
-		var err error
-		raw, err = u.AppendWire(raw[:0])
+		keep := keepBuf
+		if len(keep) == 0 {
+			return nil
+		}
+		if cap(scratch) < len(keep) {
+			scratch = make([]Record, len(keep))
+		}
+		order := scratch[:len(keep)]
+		scatterRecords(keep, order, set.Len(), func(r Record) int32 { return r.VP })
+		for _, r := range order {
+			v := set.VP(int(r.VP))
+			was := c.PresentOn(r.Prefix, day-1)
+			is := c.PresentOn(r.Prefix, day)
+			if was == is {
+				continue
+			}
+			var u bgp.Update
+			pfx := c.Prefixes[r.Prefix]
+			switch {
+			case is && pfx.Addr().Is4():
+				u = bgp.Update{
+					ASPath:    bgp.SequencePath(c.Paths[r.Path]),
+					NextHop:   v.Addr,
+					Announced: []netip.Prefix{pfx},
+				}
+			case is:
+				u = bgp.Update{
+					ASPath:      bgp.SequencePath(c.Paths[r.Path]),
+					V6NextHop:   v6NextHop,
+					V6Announced: []netip.Prefix{pfx},
+				}
+			case pfx.Addr().Is4():
+				u = bgp.Update{Withdrawn: []netip.Prefix{pfx}}
+			default:
+				u = bgp.Update{V6Withdrawn: []netip.Prefix{pfx}}
+			}
+			var err error
+			raw, err = u.AppendWire(raw[:0])
+			if err != nil {
+				return fmt.Errorf("routing: update: %w", err)
+			}
+			if err := mw.WriteBGP4MP(v.AS, 6447, v.Addr, collectorIP, raw); err != nil {
+				return err
+			}
+			nOut++
+		}
+		return nil
+	}
+
+	if c.Spilled() {
+		err := forEachKeyRange(c, set.Len(),
+			func(r ribstore.Rec) int32 { return r.VP }, emit)
 		if err != nil {
-			return fmt.Errorf("routing: update: %w", err)
-		}
-		if err := mw.WriteBGP4MP(v.AS, 6447, v.Addr, collectorIP, raw); err != nil {
 			return err
 		}
-		nOut++
+	} else {
+		if err := emit(c.Records); err != nil {
+			return err
+		}
 	}
 	if err := mw.Flush(); err != nil {
 		return err
@@ -368,8 +472,16 @@ type ImportOptions struct {
 	// SkipCorrupt turns on degraded-mode ingest: corrupt records are skipped
 	// via the reader's resync scan, entries referencing unknown peer indexes
 	// are dropped, and the import completes with the losses accounted in
-	// ImportStats instead of returning an error.
+	// ImportStats instead of returning an error. It also disables chunked
+	// parallel file decode (resync recovery must see the whole stream).
 	SkipCorrupt bool
+	// SpillDir, when set, spills the merged records to columnar run files
+	// under the directory (one run per stream or chunk) instead of holding
+	// them resident; the collection streams them back via ForEachRecord.
+	SpillDir string
+	// ChunkTarget is the per-chunk byte target ImportMRTFiles splits files
+	// into for parallel decode. 0 selects 4 MiB.
+	ChunkTarget int64
 }
 
 // ImportStats accounts what a degraded import lost: the coverage report a
@@ -401,20 +513,126 @@ func ImportMRT(w *topology.World, streams []io.Reader) (*Collection, error) {
 // SkipCorrupt set it is the degraded-mode ingest path: corrupt records cost
 // coverage, not the run.
 func ImportMRTWith(w *topology.World, streams []io.Reader, opt ImportOptions) (*Collection, ImportStats, error) {
-	sp := obs.StartSpan("mrt-import")
-	sp.AddItems(0, "records")
-	defer sp.End()
-	set := w.VPs
-	byAddr := map[netip.Addr]int32{}
-	for i := 0; i < set.Len(); i++ {
-		byAddr[set.VP(i).Addr] = int32(i)
-	}
-
-	var stats ImportStats
 	parts := make([]importStream, len(streams))
+	byAddr := vpsByAddr(w)
 	par.ForEach(len(streams), func(si int) {
 		parts[si] = importOneStream(streams[si], byAddr, opt)
 	})
+	return mergeImportParts(w, parts, opt)
+}
+
+// ImportMRTFiles is ImportMRT over dump files, decoding each file's record
+// sections in parallel: a sequential header-only pre-scan (mrt.IndexSections)
+// cuts the file at record boundaries into ~ChunkTarget-byte chunks, and each
+// chunk is decoded by its own worker with the PEER_INDEX_TABLE record
+// replayed in front. Chunks merge in (file, offset) order — the stream order
+// a sequential decode would have produced — so the collection is identical
+// to ImportMRT of the same files at any GOMAXPROCS. Files that cannot be
+// pre-scanned (corrupt headers, a leading record that is not a PIT) and all
+// SkipCorrupt imports fall back to sequential whole-file decode.
+func ImportMRTFiles(w *topology.World, paths []string, opt ImportOptions) (*Collection, ImportStats, error) {
+	if opt.ChunkTarget <= 0 {
+		opt.ChunkTarget = 4 << 20
+	}
+	// chunk is one unit of parallel decode work.
+	type chunk struct {
+		r io.Reader
+		// pitReplayed is the PIT bytes prepended to a non-leading chunk,
+		// deducted from the byte metrics after decode.
+		pitReplayed int64
+	}
+	var chunks []chunk
+	var files []*os.File
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, ImportStats{}, err
+		}
+		files = append(files, f)
+		sections := indexFile(f, opt)
+		if len(sections) < 3 {
+			// Nothing to parallelize (or the pre-scan failed): decode the
+			// whole file as one sequential stream, which owns all error
+			// handling and resync recovery.
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				return nil, ImportStats{}, err
+			}
+			chunks = append(chunks, chunk{r: f})
+			continue
+		}
+		pitRaw := make([]byte, sections[0].End-sections[0].Start)
+		if _, err := f.ReadAt(pitRaw, sections[0].Start); err != nil {
+			return nil, ImportStats{}, err
+		}
+		chunks = append(chunks, chunk{
+			r: io.NewSectionReader(f, sections[0].Start, sections[1].End-sections[0].Start),
+		})
+		for _, s := range sections[2:] {
+			chunks = append(chunks, chunk{
+				r: io.MultiReader(bytes.NewReader(pitRaw),
+					io.NewSectionReader(f, s.Start, s.End-s.Start)),
+				pitReplayed: int64(len(pitRaw)),
+			})
+		}
+	}
+
+	byAddr := vpsByAddr(w)
+	parts := make([]importStream, len(chunks))
+	par.ForEach(len(chunks), func(ci int) {
+		parts[ci] = importOneStream(chunks[ci].r, byAddr, opt)
+		parts[ci].bytes -= chunks[ci].pitReplayed
+	})
+	return mergeImportParts(w, parts, opt)
+}
+
+// indexFile pre-scans one dump file into sections, or returns nil when the
+// file must be decoded sequentially: degraded-mode imports (resync recovery
+// is a whole-stream affair), unscannable files, or files whose first record
+// is not the PEER_INDEX_TABLE every chunk needs replayed.
+func indexFile(f *os.File, opt ImportOptions) []mrt.Section {
+	if opt.SkipCorrupt {
+		return nil
+	}
+	sections, err := mrt.IndexSections(f, opt.ChunkTarget)
+	if err != nil || len(sections) == 0 {
+		return nil
+	}
+	var hdr [12]byte
+	if _, err := f.ReadAt(hdr[:], sections[0].Start); err != nil {
+		return nil
+	}
+	typ := binary.BigEndian.Uint16(hdr[4:])
+	sub := binary.BigEndian.Uint16(hdr[6:])
+	if typ != mrt.TypeTableDumpV2 || sub != mrt.SubtypePeerIndexTable {
+		return nil
+	}
+	return sections
+}
+
+func vpsByAddr(w *topology.World) map[netip.Addr]int32 {
+	set := w.VPs
+	byAddr := make(map[netip.Addr]int32, set.Len())
+	for i := 0; i < set.Len(); i++ {
+		byAddr[set.VP(i).Addr] = int32(i)
+	}
+	return byAddr
+}
+
+// mergeImportParts folds decoded stream partials into a Collection in part
+// order, remapping stream-local prefix and path indexes into the global
+// tables and routing the records through a recordSink (resident or spilled,
+// one spill run per part).
+func mergeImportParts(w *topology.World, parts []importStream, opt ImportOptions) (*Collection, ImportStats, error) {
+	sp := obs.StartSpan("mrt-import")
+	sp.AddItems(0, "records")
+	defer sp.End()
+
+	var stats ImportStats
 	for si := range parts {
 		p := &parts[si]
 		mMRTBytesIn.Add(p.bytes)
@@ -431,16 +649,25 @@ func ImportMRTWith(w *topology.World, streams []io.Reader, opt ImportOptions) (*
 	}
 
 	col := &Collection{World: w, Days: 1}
+	sink, err := newRecordSink(col, opt.SpillDir)
+	if err != nil {
+		return nil, stats, err
+	}
+	if opt.SpillDir == "" {
+		nRecs := 0
+		for si := range parts {
+			nRecs += len(parts[si].records)
+		}
+		col.Records = make([]Record, 0, nRecs)
+	}
 	prefixIdx := map[netip.Prefix]int32{}
 	it := bgp.NewInterner(0)
 	var originSet []bool
-	nRecs := 0
-	for si := range parts {
-		nRecs += len(parts[si].records)
-	}
-	col.Records = make([]Record, 0, nRecs)
 	for si := range parts {
 		p := &parts[si]
+		if err := sink.nextShard(si); err != nil {
+			return nil, stats, err
+		}
 		pfxMap := make([]int32, len(p.prefixes))
 		for li, pfx := range p.prefixes {
 			gi, ok := prefixIdx[pfx]
@@ -463,18 +690,28 @@ func ImportMRTWith(w *topology.World, streams []io.Reader, opt ImportOptions) (*
 		for li, path := range p.paths {
 			pathMap[li] = it.InternOwned(path)
 		}
-		for _, r := range p.records {
-			col.Records = append(col.Records, Record{
+		// Remap in place, then hand the part's records to the sink: the
+		// resident path copies them into the output slice; the spill path
+		// streams them to this part's run and the part is released.
+		for k, r := range p.records {
+			p.records[k] = Record{
 				VP:     r.VP,
 				Prefix: pfxMap[r.Prefix],
 				Path:   pathMap[r.Path],
-			})
+			}
 		}
+		if err := sink.append(p.records); err != nil {
+			return nil, stats, err
+		}
+		p.records = nil
 	}
 	col.Paths = it.Paths()
 	col.Stable = make([]bool, len(col.Prefixes))
 	for i := range col.Stable {
 		col.Stable[i] = true
+	}
+	if err := sink.finish(); err != nil {
+		return nil, stats, err
 	}
 	return col, stats, nil
 }

@@ -26,8 +26,13 @@ const (
 	classNone     uint8 = 4
 )
 
+// offer is a deferred phase-2 route offer across a peering link.
+type offer struct{ to, via int32 }
+
 // propState holds per-origin propagation state, reused across origins to
-// avoid reallocation.
+// avoid reallocation. The BFS queues, peer-offer list and distance buckets
+// keep their backing arrays between origins, so a warm propagate call
+// allocates nothing.
 type propState struct {
 	class  []uint8
 	dist   []int32
@@ -35,6 +40,11 @@ type propState struct {
 	// asns caches g.ASNs() so the tie-break hot path (better, sortByASN)
 	// does not re-fetch the slice per comparison.
 	asns []asn.ASN
+	// cur / next are phase 1's ping-pong BFS queues; offers is phase 2's
+	// deferred offer list; buckets are phase 3's distance buckets.
+	cur, next []int32
+	offers    []offer
+	buckets   [][]int32
 }
 
 func newPropState(g *topology.Graph) *propState {
@@ -53,6 +63,31 @@ func (s *propState) reset() {
 		s.dist[i] = 0
 		s.parent[i] = -1
 	}
+	s.cur = s.cur[:0]
+	s.next = s.next[:0]
+	s.offers = s.offers[:0]
+	for i := range s.buckets {
+		s.buckets[i] = s.buckets[i][:0]
+	}
+	s.buckets = s.buckets[:0]
+}
+
+// growBuckets extends the bucket list to n entries, re-exposing retired
+// inner arrays (and their capacity) instead of allocating fresh ones.
+func (s *propState) growBuckets(n int32) {
+	for int32(len(s.buckets)) < n {
+		if len(s.buckets) < cap(s.buckets) {
+			s.buckets = s.buckets[:len(s.buckets)+1]
+		} else {
+			s.buckets = append(s.buckets, nil)
+		}
+	}
+}
+
+// bucket appends v to distance bucket d.
+func (s *propState) bucket(d int32, v int32) {
+	s.growBuckets(d + 1)
+	s.buckets[d] = append(s.buckets[d], v)
 }
 
 // better reports whether an offer (dist d via neighbor n) beats the current
@@ -96,11 +131,12 @@ func propagate(g *topology.Graph, origin int32, s *propState) {
 	s.class[origin] = classOrigin
 	s.dist[origin] = 0
 
-	// Phase 1: customer routes climb provider links, breadth-first.
-	cur := []int32{origin}
+	// Phase 1: customer routes climb provider links, breadth-first. The two
+	// queues ping-pong over the state's reusable backing arrays.
+	cur, next := append(s.cur[:0], origin), s.next[:0]
 	for len(cur) > 0 {
 		sortByASN(s.asns, cur)
-		var next []int32
+		next = next[:0]
 		for _, u := range cur {
 			du := s.dist[u]
 			for _, p := range g.ProvidersIdx(u) {
@@ -120,13 +156,13 @@ func propagate(g *topology.Graph, origin int32, s *propState) {
 				}
 			}
 		}
-		cur = next
+		cur, next = next, cur
 	}
+	s.cur, s.next = cur[:0], next[:0]
 
 	// Phase 2: one-hop peer spread from every customer-routed AS.
 	// Collect offers first so iteration order cannot leak into results.
-	type offer struct{ to, via int32 }
-	var offers []offer
+	offers := s.offers[:0]
 	for u := int32(0); u < int32(g.NumASes()); u++ {
 		if s.class[u] > classCustomer {
 			continue
@@ -137,6 +173,7 @@ func propagate(g *topology.Graph, origin int32, s *propState) {
 			}
 		}
 	}
+	s.offers = offers
 	for _, o := range offers {
 		d := s.dist[o.via] + 1
 		switch {
@@ -154,21 +191,22 @@ func propagate(g *topology.Graph, origin int32, s *propState) {
 	}
 
 	// Phase 3: everything flows down customer links, multi-source BFS
-	// ordered by distance (buckets; AS paths are short).
+	// ordered by distance (buckets; AS paths are short). The buckets and
+	// their backing arrays live in the state and are reused across origins.
 	maxD := int32(0)
 	for u := int32(0); u < int32(g.NumASes()); u++ {
 		if s.class[u] <= classPeer && s.dist[u] > maxD {
 			maxD = s.dist[u]
 		}
 	}
-	buckets := make([][]int32, maxD+2)
+	s.growBuckets(maxD + 2)
 	for u := int32(0); u < int32(g.NumASes()); u++ {
 		if s.class[u] <= classPeer {
-			buckets[s.dist[u]] = append(buckets[s.dist[u]], u)
+			s.buckets[s.dist[u]] = append(s.buckets[s.dist[u]], u)
 		}
 	}
-	for d := int32(0); d < int32(len(buckets)); d++ {
-		bucket := buckets[d]
+	for d := int32(0); d < int32(len(s.buckets)); d++ {
+		bucket := s.buckets[d]
 		sortByASN(s.asns, bucket)
 		for _, u := range bucket {
 			if s.dist[u] != d {
@@ -183,24 +221,17 @@ func propagate(g *topology.Graph, origin int32, s *propState) {
 					} else if d+1 < s.dist[c] {
 						s.dist[c] = d + 1
 						s.parent[c] = u
-						appendBucket(&buckets, d+1, c)
+						s.bucket(d+1, c)
 					}
 				default:
 					s.class[c] = classProvider
 					s.dist[c] = d + 1
 					s.parent[c] = u
-					appendBucket(&buckets, d+1, c)
+					s.bucket(d+1, c)
 				}
 			}
 		}
 	}
-}
-
-func appendBucket(buckets *[][]int32, d int32, v int32) {
-	for int32(len(*buckets)) <= d {
-		*buckets = append(*buckets, nil)
-	}
-	(*buckets)[d] = append((*buckets)[d], v)
 }
 
 func sortByASN(asns []asn.ASN, nodes []int32) {

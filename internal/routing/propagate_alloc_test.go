@@ -1,0 +1,49 @@
+package routing
+
+import (
+	"testing"
+
+	"countryrank/internal/topology"
+)
+
+// TestPropagateSteadyStateAllocs guards the warm-path allocation contract:
+// once a propState has been exercised over every origin, further propagate
+// calls reuse the BFS queues, offer list and distance buckets and must not
+// allocate at all. A regression here multiplies across the millions of
+// origin propagations an internet-scale build performs.
+func TestPropagateSteadyStateAllocs(t *testing.T) {
+	w := testWorld(t)
+	g := w.Graph
+	g.ASNs() // warm the shared ASN cache like BuildCollection does
+	st := newPropState(g)
+	n := int32(g.NumASes())
+	for origin := int32(0); origin < n; origin++ {
+		propagate(g, origin, st)
+	}
+	origin := int32(0)
+	allocs := testing.AllocsPerRun(50, func() {
+		propagate(g, origin, st)
+		origin = (origin + 1) % n
+	})
+	if allocs != 0 {
+		t.Fatalf("warm propagate allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkPropagateWarm is the allocs/op companion of the guard test: run
+// with -benchmem to watch the steady-state number directly.
+func BenchmarkPropagateWarm(b *testing.B) {
+	w := topology.Build(topology.Config{Seed: 5, StubScale: 0.1, VPScale: 0.1})
+	g := w.Graph
+	g.ASNs()
+	st := newPropState(g)
+	n := int32(g.NumASes())
+	for origin := int32(0); origin < n; origin++ {
+		propagate(g, origin, st)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		propagate(g, int32(i)%n, st)
+	}
+}

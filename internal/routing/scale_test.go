@@ -1,0 +1,279 @@
+package routing
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"countryrank/internal/topology"
+)
+
+// collectionEqual compares everything downstream consumers can observe:
+// prefix/origin/stability tables, the full record stream, and every
+// record's path value.
+func collectionEqual(t *testing.T, a, b *Collection, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Prefixes, b.Prefixes) {
+		t.Fatalf("%s: prefixes differ", label)
+	}
+	if !reflect.DeepEqual(a.Origin, b.Origin) {
+		t.Fatalf("%s: origins differ", label)
+	}
+	if !reflect.DeepEqual(a.Stable, b.Stable) || !reflect.DeepEqual(a.DayMask, b.DayMask) {
+		t.Fatalf("%s: stability differs", label)
+	}
+	if a.NumRecords() != b.NumRecords() {
+		t.Fatalf("%s: %d vs %d records", label, a.NumRecords(), b.NumRecords())
+	}
+	ra, err := allRecords(a)
+	if err != nil {
+		t.Fatalf("%s: stream a: %v", label, err)
+	}
+	rb, err := allRecords(b)
+	if err != nil {
+		t.Fatalf("%s: stream b: %v", label, err)
+	}
+	for i := range ra {
+		if ra[i].VP != rb[i].VP || ra[i].Prefix != rb[i].Prefix {
+			t.Fatalf("%s: record %d = %+v vs %+v", label, i, ra[i], rb[i])
+		}
+		if !a.Paths[ra[i].Path].Equal(b.Paths[rb[i].Path]) {
+			t.Fatalf("%s: record %d path differs", label, i)
+		}
+	}
+}
+
+func allRecords(c *Collection) ([]Record, error) {
+	out := make([]Record, 0, c.NumRecords())
+	err := c.ForEachRecord(func(_ int, recs []Record) error {
+		out = append(out, recs...)
+		return nil
+	})
+	return out, err
+}
+
+// mrtDigest exports every collector and hashes the concatenated streams.
+func mrtDigest(t *testing.T, c *Collection) [32]byte {
+	t.Helper()
+	h := sha256.New()
+	for _, coll := range c.World.VPs.Collectors() {
+		var buf bytes.Buffer
+		if err := ExportMRT(&buf, c, coll.Name, 1617235200); err != nil {
+			t.Fatal(err)
+		}
+		h.Write(buf.Bytes())
+	}
+	var d [32]byte
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// TestShardedBuildDeterministic proves the tentpole invariant: the sharded
+// build produces byte-identical collections (and byte-identical MRT exports)
+// for every shard count at every GOMAXPROCS.
+func TestShardedBuildDeterministic(t *testing.T) {
+	w := testWorld(t)
+	base := BuildCollection(w, BuildOptions{Shards: 1})
+	baseDigest := mrtDigest(t, base)
+	for _, procs := range []int{1, 4, 16} {
+		prev := runtime.GOMAXPROCS(procs)
+		for _, shards := range []int{2, 7, 64} {
+			col := BuildCollection(w, BuildOptions{Shards: shards})
+			collectionEqual(t, base, col, "sequential vs sharded")
+			// The sharded interner assigns the same IDs too: records and
+			// path tables match exactly, not just observably.
+			if !reflect.DeepEqual(base.Records, col.Records) {
+				t.Fatalf("procs=%d shards=%d: record slices differ", procs, shards)
+			}
+			if d := mrtDigest(t, col); d != baseDigest {
+				t.Fatalf("procs=%d shards=%d: MRT digest differs", procs, shards)
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+// TestSpilledBuildMatchesResident proves out-of-core builds are observably
+// identical to resident ones, through both the record stream and MRT export.
+func TestSpilledBuildMatchesResident(t *testing.T) {
+	w := testWorld(t)
+	resident := BuildCollection(w, BuildOptions{})
+	spilled, err := BuildCollectionWith(w, BuildOptions{SpillDir: t.TempDir(), Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spilled.Close()
+	if !spilled.Spilled() || spilled.Records != nil {
+		t.Fatal("spilled collection holds resident records")
+	}
+	if resident.Spilled() || resident.SpillBytes() != 0 {
+		t.Fatal("resident collection claims a spill")
+	}
+	if spilled.SpillBytes() <= 0 {
+		t.Fatal("spill wrote no bytes")
+	}
+	collectionEqual(t, resident, spilled, "resident vs spilled")
+	if mrtDigest(t, resident) != mrtDigest(t, spilled) {
+		t.Fatal("MRT export differs between resident and spilled")
+	}
+
+	// The spilled update stream must match the resident one as well.
+	coll := w.VPs.Collectors()[0]
+	var ur, us bytes.Buffer
+	if err := ExportUpdatesMRT(&ur, resident, coll.Name, 1, 1617235200); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportUpdatesMRT(&us, spilled, coll.Name, 1, 1617235200); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ur.Bytes(), us.Bytes()) {
+		t.Fatal("update stream differs between resident and spilled")
+	}
+}
+
+// TestSpillErrorPaths proves damaged spill files fail loudly, not quietly:
+// a corrupt group surfaces through ForEachRecord, a truncated run through
+// the streaming footer check.
+func TestSpillErrorPaths(t *testing.T) {
+	w := testWorld(t)
+	dir := t.TempDir()
+	col, err := BuildCollectionWith(w, BuildOptions{SpillDir: dir, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := filepath.Glob(filepath.Join(dir, "run-*.crib"))
+	if err != nil || len(runs) == 0 {
+		t.Fatalf("no runs found: %v", err)
+	}
+
+	// Flip a payload byte in the first non-empty run.
+	var victim string
+	for _, r := range runs {
+		if st, err := os.Stat(r); err == nil && st.Size() > 64 {
+			victim = r
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no non-empty run to corrupt")
+	}
+	f, err := os.OpenFile(victim, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], 40); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], 40); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	err = col.ForEachRecord(func(int, []Record) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("corrupt run streamed without a CRC error: %v", err)
+	}
+
+	// Restore, then truncate the tail: the missing footer must abort the
+	// stream.
+	if _, err := os.Stat(victim); err != nil {
+		t.Fatal(err)
+	}
+	f, err = os.OpenFile(victim, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], 40); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := col.ForEachRecord(func(int, []Record) error { return nil }); err != nil {
+		t.Fatalf("restored run failed to stream: %v", err)
+	}
+	st, err := os.Stat(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(victim, st.Size()-20); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.ForEachRecord(func(int, []Record) error { return nil }); err == nil {
+		t.Fatal("truncated run streamed without error")
+	}
+}
+
+// TestImportMRTFilesMatchesStreams proves the chunk-parallel file importer
+// is identical to the sequential stream importer — including with a chunk
+// target small enough to force many chunks per file — and that a spilled
+// import matches a resident one.
+func TestImportMRTFilesMatchesStreams(t *testing.T) {
+	w := testWorld(t)
+	col := BuildCollection(w, BuildOptions{})
+	dir := t.TempDir()
+	var paths []string
+	for _, coll := range w.VPs.Collectors() {
+		var buf bytes.Buffer
+		if err := ExportMRT(&buf, col, coll.Name, 1617235200); err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, coll.Name+".mrt")
+		if err := os.WriteFile(p, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+
+	seq := importViaStreams(t, w, paths)
+	for _, target := range []int64{1 << 12, 1 << 20} {
+		par, _, err := ImportMRTFiles(w, paths, ImportOptions{ChunkTarget: target})
+		if err != nil {
+			t.Fatal(err)
+		}
+		collectionEqual(t, seq, par, "sequential vs chunked import")
+		if !reflect.DeepEqual(seq.Records, par.Records) {
+			t.Fatalf("target=%d: record slices differ", target)
+		}
+	}
+
+	spilled, _, err := ImportMRTFiles(w, paths, ImportOptions{ChunkTarget: 1 << 12, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spilled.Close()
+	if !spilled.Spilled() {
+		t.Fatal("import ignored SpillDir")
+	}
+	collectionEqual(t, seq, spilled, "resident vs spilled import")
+}
+
+func importViaStreams(t *testing.T, w *topology.World, paths []string) *Collection {
+	t.Helper()
+	var files []*os.File
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	readers := make([]io.Reader, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		readers = append(readers, f)
+	}
+	col, err := ImportMRT(w, readers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}

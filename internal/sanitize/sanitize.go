@@ -165,10 +165,17 @@ type Config struct {
 // the input to every ranking metric.
 type Dataset struct {
 	Col *routing.Collection
-	// Accepted[i] indexes into Col.Records; CleanPath[i] is its path after
-	// route-server removal and prepend collapsing.
+	// Accepted[i] is the canonical-order index of the i-th accepted record;
+	// CleanPath[i] is its path after route-server removal and prepend
+	// collapsing.
 	Accepted  []int32
 	CleanPath []bgp.Path
+	// recVP / recPrefix are the accepted records' VP and prefix columns,
+	// copied out during the filtering stream so the dataset never needs
+	// random access into the collection's record store (which may be
+	// out-of-core).
+	recVP     []int32
+	recPrefix []int32
 	// VPCountry[v] is VP v's country, or "" when unlocatable.
 	VPCountry []countries.Code
 	// PrefixCountry[p] is prefix p's country, or "" when filtered.
@@ -204,11 +211,21 @@ func NewDataset(col *routing.Collection, vpCountry, prefixCountry []countries.Co
 	for p, pfx := range col.Prefixes {
 		ds.Weight[p] = netx.AddressWeight(pfx)
 	}
-	ds.Stats.Total = len(col.Records)
-	ds.Stats.Counts[Accepted] = len(col.Records)
-	for i := range col.Records {
-		ds.Accepted = append(ds.Accepted, int32(i))
-		ds.CleanPath = append(ds.CleanPath, col.Paths[col.Records[i].Path])
+	ds.Stats.Total = col.NumRecords()
+	ds.Stats.Counts[Accepted] = col.NumRecords()
+	err := col.ForEachRecord(func(base int, recs []routing.Record) error {
+		for k, r := range recs {
+			ds.Accepted = append(ds.Accepted, int32(base+k))
+			ds.recVP = append(ds.recVP, r.VP)
+			ds.recPrefix = append(ds.recPrefix, r.Prefix)
+			ds.CleanPath = append(ds.CleanPath, col.Paths[r.Path])
+		}
+		return nil
+	})
+	if err != nil {
+		// Streaming only fails on spilled collections with unreadable run
+		// files; that is not recoverable mid-build.
+		panic(fmt.Sprintf("sanitize: record stream: %v", err))
 	}
 	ds.buildInterner()
 	return ds
@@ -248,25 +265,35 @@ func Run(col *routing.Collection, cfg Config) *Dataset {
 		verdicts[i] = judgePath(p, cfg)
 	}
 
-	ds.Stats.Total = len(col.Records)
-	for i, r := range col.Records {
-		reason := Accepted
-		v := verdicts[r.Path]
-		switch {
-		case !col.Stable[r.Prefix]:
-			reason = Unstable
-		case v.reason != Accepted:
-			reason = v.reason
-		case ds.VPCountry[r.VP] == "":
-			reason = VPNoLocation
-		case ds.PrefixCountry[r.Prefix] == "":
-			reason = PrefixNoLocation
+	ds.Stats.Total = col.NumRecords()
+	err := col.ForEachRecord(func(base int, recs []routing.Record) error {
+		for k, r := range recs {
+			reason := Accepted
+			v := verdicts[r.Path]
+			switch {
+			case !col.Stable[r.Prefix]:
+				reason = Unstable
+			case v.reason != Accepted:
+				reason = v.reason
+			case ds.VPCountry[r.VP] == "":
+				reason = VPNoLocation
+			case ds.PrefixCountry[r.Prefix] == "":
+				reason = PrefixNoLocation
+			}
+			ds.Stats.Counts[reason]++
+			if reason == Accepted {
+				ds.Accepted = append(ds.Accepted, int32(base+k))
+				ds.recVP = append(ds.recVP, r.VP)
+				ds.recPrefix = append(ds.recPrefix, r.Prefix)
+				ds.CleanPath = append(ds.CleanPath, v.clean)
+			}
 		}
-		ds.Stats.Counts[reason]++
-		if reason == Accepted {
-			ds.Accepted = append(ds.Accepted, int32(i))
-			ds.CleanPath = append(ds.CleanPath, v.clean)
-		}
+		return nil
+	})
+	if err != nil {
+		// Streaming only fails on spilled collections with unreadable run
+		// files; that is not recoverable mid-run.
+		panic(fmt.Sprintf("sanitize: record stream: %v", err))
 	}
 	ds.buildInterner()
 	ds.Stats.observe(time.Since(start))
@@ -364,19 +391,17 @@ func (d *Dataset) Len() int { return len(d.Accepted) }
 
 // Record returns the i-th accepted record's essentials.
 func (d *Dataset) Record(i int) (vpIdx int32, prefixIdx int32, path bgp.Path) {
-	r := d.Col.Records[d.Accepted[i]]
-	return r.VP, r.Prefix, d.CleanPath[i]
+	return d.recVP[i], d.recPrefix[i], d.CleanPath[i]
 }
 
 // RecordIDs is Record with the path resolved to dense ids.
 func (d *Dataset) RecordIDs(i int) (vpIdx int32, prefixIdx int32, ids []int32) {
-	r := d.Col.Records[d.Accepted[i]]
-	return r.VP, r.Prefix, d.PathIDs[i]
+	return d.recVP[i], d.recPrefix[i], d.PathIDs[i]
 }
 
 // PrefixOf returns the prefix of accepted record i.
 func (d *Dataset) PrefixOf(i int) netip.Prefix {
-	return d.Col.Prefixes[d.Col.Records[d.Accepted[i]].Prefix]
+	return d.Col.Prefixes[d.recPrefix[i]]
 }
 
 // CountriesWithPrefixes returns every country that has at least one

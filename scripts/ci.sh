@@ -26,6 +26,32 @@ go test -race ./...
 echo '--- bench smoke (Figure4, 1 iteration)'
 go test -run '^$' -bench Figure4 -benchtime 1x .
 
+echo '--- shard/spill determinism under -race'
+# The sharded-propagation merge and the chunk-parallel MRT importer are the
+# two places a scheduling race could silently corrupt output; run their
+# byte-identity tests with the race detector watching the worker pools.
+go test -race -count=1 \
+    -run 'TestShardedBuildDeterministic|TestSpilled|TestImportMRTFilesMatchesStreams|TestOrderedMap|TestRoundTripMultiRun|TestBucketsPartitionPreservesOrder' \
+    ./internal/routing ./internal/par ./internal/ribstore
+
+echo '--- scale smoke (sharded topogen -> crank -mrt -> asrank, spilled)'
+# A medium world driven through the full out-of-core path: generate with
+# routes spilled to disk, re-ingest the dumps chunk-parallel with a second
+# spill, and rank in-process with a third. Each stage must agree with the
+# others implicitly (crank consumes topogen's dumps) and leave no run files
+# behind misplaced.
+scale_dir=$(mktemp -d)
+go build -o "$scale_dir/topogen" ./cmd/topogen
+go build -o "$scale_dir/crank" ./cmd/crank
+"$scale_dir/topogen" -scale 0.5 -vpscale 0.5 -shards 8 \
+    -spill-dir "$scale_dir/spill-gen" -out "$scale_dir/mrt"
+"$scale_dir/crank" -scale 0.5 -vpscale 0.5 -mrt "$scale_dir/mrt" \
+    -spill-dir "$scale_dir/spill-import" -top 3 AU >"$scale_dir/crank.out"
+grep -q 'CCI' "$scale_dir/crank.out"
+ls "$scale_dir"/spill-gen/run-*.crib >/dev/null
+ls "$scale_dir"/spill-import/run-*.crib >/dev/null
+rm -rf "$scale_dir"
+
 echo '--- fuzz smoke (MRT reader, 10s)'
 go test -run '^$' -fuzz FuzzReaderNext -fuzztime 10s ./internal/mrt
 
@@ -46,6 +72,7 @@ obs_log="$obs_dir/asrank.log"
 obs_metrics="$obs_dir/metrics.txt"
 go build -o "$obs_dir/asrank" ./cmd/asrank
 "$obs_dir/asrank" -scale 0.15 -vpscale 0.2 -top 3 \
+    -shards 4 -spill-dir "$obs_dir/spill" \
     -debug-addr "127.0.0.1:$obs_port" -debug-linger 60s -timeline 250ms \
     -trace-out "$obs_dir/trace.json" -manifest "$obs_dir/manifest.json" >"$obs_log" 2>&1 &
 obs_pid=$!
@@ -80,6 +107,8 @@ require_nonzero() {
 require_nonzero countryrank_sanitize_records_total
 require_nonzero countryrank_sanitize_accepted_total
 require_nonzero countryrank_routing_paths_propagated_total
+require_nonzero countryrank_routing_shards_done_total
+require_nonzero countryrank_routing_spill_bytes_total
 require_nonzero countryrank_core_kernel_cone_seconds_count
 require_nonzero countryrank_core_kernel_hegemony_seconds_count
 
