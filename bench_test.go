@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"net/netip"
+	"net/url"
 	"os"
 	"path/filepath"
 	"sync"
@@ -18,6 +20,7 @@ import (
 	"countryrank/internal/bgp"
 	"countryrank/internal/bgpsession"
 	"countryrank/internal/netx"
+	"countryrank/internal/snapshot"
 
 	conepkg "countryrank/internal/cone"
 	"countryrank/internal/core"
@@ -520,4 +523,93 @@ func BenchmarkSessionThroughput(b *testing.B) {
 	}
 	<-done
 	table.Apply(u)
+}
+
+// --- Serving benches (cmd/rankd hot path) ---
+
+var (
+	serveBenchOnce sync.Once
+	serveBenchSnap *snapshot.Snapshot
+	serveBenchH    http.Handler
+	serveBenchCC   string
+)
+
+func serveBenchSetup(b *testing.B) {
+	b.Helper()
+	serveBenchOnce.Do(func() {
+		p, _ := benchPipelines(b)
+		serveBenchSnap = snapshot.Build(p, 1, snapshot.Config{})
+		serveBenchH = snapshot.NewHandler(snapshot.NewStore(serveBenchSnap))
+		serveBenchCC = serveBenchSnap.CountryCodes()[0]
+	})
+}
+
+// serveBenchWriter is the same minimal ResponseWriter the zero-alloc guard
+// test uses: a reused header map and a discarding Write, so the benchmark
+// measures the handler alone rather than httptest's recorder.
+type serveBenchWriter struct {
+	hdr http.Header
+	n   int64
+}
+
+func (w *serveBenchWriter) Header() http.Header { return w.hdr }
+func (w *serveBenchWriter) WriteHeader(int)     {}
+func (w *serveBenchWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+func serveBenchRequest(b *testing.B, path, inm string) *http.Request {
+	b.Helper()
+	u, err := url.Parse(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &http.Request{Method: http.MethodGet, URL: u, Header: http.Header{}}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	return req
+}
+
+// BenchmarkServeCountry measures the full-body country page hot path:
+// resolve entity, assign precomputed headers, write stored bytes. The
+// regression gate pins this at 0 allocs/op.
+func BenchmarkServeCountry(b *testing.B) {
+	serveBenchSetup(b)
+	req := serveBenchRequest(b, "/v1/countries/"+serveBenchCC, "")
+	w := &serveBenchWriter{hdr: http.Header{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveBenchH.ServeHTTP(w, req)
+	}
+	b.SetBytes(w.n / int64(b.N))
+}
+
+// BenchmarkServeCountry304 measures the revalidation path: ETag compare,
+// 304, no body.
+func BenchmarkServeCountry304(b *testing.B) {
+	serveBenchSetup(b)
+	req := serveBenchRequest(b, "/v1/countries/"+serveBenchCC,
+		serveBenchSnap.CountryETag(serveBenchCC))
+	w := &serveBenchWriter{hdr: http.Header{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveBenchH.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkServeTop measures the top-N path including the manual query
+// parse and variant clamp.
+func BenchmarkServeTop(b *testing.B) {
+	serveBenchSetup(b)
+	req := serveBenchRequest(b, "/v1/top/ccg?n=10", "")
+	w := &serveBenchWriter{hdr: http.Header{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveBenchH.ServeHTTP(w, req)
+	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	asrank [-seed N] [-scale F] [-vpscale F] [-top K] [-ahc CC]
+//	asrank [-seed N] [-scale F] [-vpscale F] [-top K] [-ahc CC] [-json]
 //	       [-v LEVEL] [-debug-addr HOST:PORT] [-debug-linger D]
 //	       [-trace-out FILE] [-manifest FILE] [-timeline D]
 //
@@ -27,7 +27,9 @@ import (
 	"countryrank/internal/core"
 	"countryrank/internal/countries"
 	"countryrank/internal/obs"
+	"countryrank/internal/rank"
 	"countryrank/internal/routing"
+	"countryrank/internal/snapshot"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func main() {
 	scale := flag.Float64("scale", 1, "stub-count scale factor")
 	vpscale := flag.Float64("vpscale", 1, "VP-count scale factor")
 	top := flag.Int("top", 20, "entries per ranking")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (the snapshot wire encoding rankd serves) instead of tables")
 	ahc := flag.String("ahc", "", "also print the AHC baseline for this country code")
 	shards := flag.Int("shards", 0, "propagation shards (0 = 4×GOMAXPROCS)")
 	spillDir := flag.String("spill-dir", "", "spill records to columnar runs under this directory instead of RAM")
@@ -51,18 +54,38 @@ func main() {
 	ofl.Manifest.SetCoverage(p.CoverageInfo())
 	ofl.Manifest.SetDrops(p.DS.Stats.Drops())
 	ccg, ahg := p.Global()
-	fmt.Print(ccg.Render(*top))
-	fmt.Println()
-	fmt.Print(ahg.Render(*top))
-
+	rankings := []*rank.Ranking{ccg, ahg}
 	if *ahc != "" {
 		c := countries.Code(strings.ToUpper(*ahc))
 		if !countries.Known(c) {
 			slog.Error("unknown country", "code", *ahc)
 			os.Exit(1)
 		}
-		fmt.Println()
-		fmt.Print(p.AHC(c).Render(*top))
+		rankings = append(rankings, p.AHC(c))
+	}
+
+	if *jsonOut {
+		// The snapshot encoder renders here exactly what rankd serves, so
+		// batch and served output are byte-identical per ranking.
+		out := []byte(`{"rankings":[`)
+		for i, r := range rankings {
+			if i > 0 {
+				out = append(out, ',')
+			}
+			out = snapshot.AppendRanking(out, r, *top)
+		}
+		out = append(out, "]}\n"...)
+		if _, err := os.Stdout.Write(out); err != nil {
+			slog.Error("write JSON", "err", err)
+			os.Exit(1)
+		}
+	} else {
+		for i, r := range rankings {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(r.Render(*top))
+		}
 	}
 	ofl.Done()
 }

@@ -20,7 +20,6 @@ package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -32,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"countryrank/internal/benchfmt"
 	"countryrank/internal/obs"
 )
 
@@ -41,26 +41,12 @@ func fatal(msg string, args ...any) {
 	os.Exit(1)
 }
 
-// Result is one benchmark measurement.
-type Result struct {
-	Name     string  `json:"name"`
-	Iters    int64   `json:"iters"`
-	NsPerOp  float64 `json:"ns_per_op"`
-	BPerOp   float64 `json:"bytes_per_op,omitempty"`
-	AllocsOp float64 `json:"allocs_per_op,omitempty"`
-	MBPerS   float64 `json:"mb_per_s,omitempty"`
-	// Extra holds custom b.ReportMetric units (e.g. records/op).
-	Extra map[string]float64 `json:"extra,omitempty"`
-}
-
-// Snapshot is the file format written to BENCH_<date>.json.
-type Snapshot struct {
-	Date      string   `json:"date"`
-	GoVersion string   `json:"go_version"`
-	Bench     string   `json:"bench"`
-	BenchTime string   `json:"benchtime"`
-	Results   []Result `json:"results"`
-}
+// Result and Snapshot are the shared BENCH_*.json shapes; cmd/loadgen
+// writes the same format for serving runs (see internal/benchfmt).
+type (
+	Result   = benchfmt.Result
+	Snapshot = benchfmt.Snapshot
+)
 
 // benchLine matches the prefix of standard `go test -bench` output, e.g.
 //
@@ -113,11 +99,32 @@ func main() {
 	count := flag.Int("count", 1, "passed to go test -count")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
 	baseline := flag.String("baseline", "", "previous BENCH_*.json to compare against")
-	tolerance := flag.Float64("tolerance", 1.30, "max allowed ns/op ratio vs baseline before exit 1")
+	input := flag.String("input", "", "compare this existing BENCH_*.json (e.g. a loadgen run) against -baseline instead of running benchmarks")
+	tolerance := flag.Float64("tolerance", 1.30, "max allowed ns/op (and p99_ns / allocs) ratio vs baseline before exit 1")
 	ofl := obs.Flags("bench")
 	flag.Parse()
 	ofl.Init()
 	defer ofl.Done()
+
+	if *input != "" {
+		// Compare-only mode: a snapshot someone else produced (the serving
+		// load generator writes the same format) gets the same regression
+		// gate the kernel benches do.
+		if *baseline == "" {
+			fatal("-input requires -baseline")
+		}
+		cur, err := benchfmt.ReadFile(*input)
+		if err != nil {
+			fatal("read -input snapshot", "err", err)
+		}
+		if err := ofl.Manifest.AddInput(*baseline); err != nil {
+			slog.Warn("baseline digest failed", "path", *baseline, "err", err)
+		}
+		if compare(*baseline, *cur, *tolerance) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	date := time.Now().UTC().Format("2006-01-02")
 	path := *out
@@ -169,11 +176,7 @@ func main() {
 	// -count>1 repeats each benchmark; keep the best (lowest ns/op) run.
 	snap.Results = bestRuns(snap.Results)
 
-	buf, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		fatal("marshal snapshot", "err", err)
-	}
-	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+	if err := snap.WriteFile(path); err != nil {
 		fatal("write snapshot", "err", err)
 	}
 	slog.Info("wrote snapshot", "path", path, "benchmarks", len(snap.Results))
@@ -214,28 +217,27 @@ func bestRuns(rs []Result) []Result {
 	return out
 }
 
+// compare gates cur against the baseline snapshot: ns/op (p50 latency for
+// serving results) regresses at ratio > tolerance, and so do p99_ns (when
+// both sides carry it in Extra) and allocs/op — a benchmark whose baseline
+// is alloc-free fails on any measurable alloc growth, since a ratio against
+// zero is undefined and "0 allocs" is exactly the property being pinned.
 func compare(baselinePath string, cur Snapshot, tolerance float64) (failed bool) {
-	buf, err := os.ReadFile(baselinePath)
+	base, err := benchfmt.ReadFile(baselinePath)
 	if err != nil {
 		fatal("read baseline", "err", err)
-	}
-	var base Snapshot
-	if err := json.Unmarshal(buf, &base); err != nil {
-		fatal("parse baseline", "path", baselinePath, "err", err)
 	}
 	old := map[string]Result{}
 	for _, r := range base.Results {
 		old[r.Name] = r
 	}
 	names := make([]string, 0, len(cur.Results))
-	for _, r := range cur.Results {
-		names = append(names, r.Name)
-	}
-	sort.Strings(names)
 	byName := map[string]Result{}
 	for _, r := range cur.Results {
+		names = append(names, r.Name)
 		byName[r.Name] = r
 	}
+	sort.Strings(names)
 	fmt.Printf("\n%-45s %12s %12s %8s\n", "benchmark", "base ns/op", "cur ns/op", "ratio")
 	for _, name := range names {
 		r := byName[name]
@@ -244,15 +246,33 @@ func compare(baselinePath string, cur Snapshot, tolerance float64) (failed bool)
 			continue
 		}
 		ratio := r.NsPerOp / b.NsPerOp
-		mark := ""
+		var marks []string
 		if ratio > tolerance {
-			mark = "  REGRESSED"
+			marks = append(marks, "REGRESSED")
 			failed = true
+		}
+		if bp99, ok := b.Extra["p99_ns"]; ok && bp99 > 0 {
+			if p99 := r.Extra["p99_ns"]; p99/bp99 > tolerance {
+				marks = append(marks, fmt.Sprintf("p99 REGRESSED %.2fx", p99/bp99))
+				failed = true
+			}
+		}
+		switch {
+		case b.AllocsOp == 0 && r.AllocsOp > 0.5:
+			marks = append(marks, fmt.Sprintf("allocs REGRESSED 0 -> %.1f", r.AllocsOp))
+			failed = true
+		case b.AllocsOp > 0 && r.AllocsOp/b.AllocsOp > tolerance:
+			marks = append(marks, fmt.Sprintf("allocs REGRESSED %.2fx", r.AllocsOp/b.AllocsOp))
+			failed = true
+		}
+		mark := ""
+		if len(marks) > 0 {
+			mark = "  " + strings.Join(marks, ", ")
 		}
 		fmt.Printf("%-45s %12.0f %12.0f %7.2fx%s\n", name, b.NsPerOp, r.NsPerOp, ratio, mark)
 	}
 	if failed {
-		slog.Warn("ns/op regression beyond tolerance", "tolerance", tolerance, "baseline", baselinePath)
+		slog.Warn("regression beyond tolerance", "tolerance", tolerance, "baseline", baselinePath)
 	}
 	return failed
 }

@@ -1,0 +1,309 @@
+// Command loadgen drives a running rankd over real HTTP and records the
+// serving latency distribution as a BENCH_*.json snapshot, making the
+// serving path a regression-tracked surface alongside the kernel
+// microbenchmarks.
+//
+// It discovers the served countries from /v1/snapshot, then fans -conc
+// workers out over a request mix (country pages, top-N queries, snapshot
+// metadata), revalidating a fraction of requests with If-None-Match to
+// exercise the 304 fast path. Per-class p50/p99/p999 latency and overall
+// req/s are computed from every recorded sample; server-side allocations
+// per request come from the memstats delta between two /debug/vars scrapes
+// bracketing the run (this counts the whole process — net/http connection
+// machinery included — not just the handler, whose zero-alloc guarantee the
+// guard test pins).
+//
+// Usage:
+//
+//	loadgen [-url BASE] [-duration D] [-conc N] [-revalidate F] [-n N]
+//	        [-out FILE] [-seed N] [-v LEVEL]
+//
+// Exit status is non-zero if any request failed or returned a status other
+// than 200/304.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"os"
+	"slices"
+	"strconv"
+	"sync"
+	"time"
+
+	"countryrank/internal/benchfmt"
+	"countryrank/internal/obs"
+)
+
+// class indexes one request/response population we report separately.
+type class int
+
+const (
+	clCountry200 class = iota
+	clCountry304
+	clTop200
+	clTop304
+	clSnapshot
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	"ServeCountry", "ServeCountry304", "ServeTop", "ServeTop304", "ServeSnapshotMeta",
+}
+
+// sample is one timed request.
+type sample struct {
+	cl class
+	ns int64
+}
+
+// worker owns its RNG, its ETag cache, and its sample slice so the hot loop
+// shares nothing with other workers.
+type worker struct {
+	rng     *rand.Rand
+	client  *http.Client
+	base    string
+	ccs     []string
+	tops    []string
+	maxN    int
+	reval   float64
+	etags   map[string]string
+	samples []sample
+	errs    []string
+}
+
+func (w *worker) run(deadline time.Time) {
+	for time.Now().Before(deadline) {
+		var url string
+		cl := clSnapshot
+		switch p := w.rng.Float64(); {
+		case p < 0.70:
+			url = w.base + "/v1/countries/" + w.ccs[w.rng.Intn(len(w.ccs))]
+			cl = clCountry200
+		case p < 0.95:
+			url = w.base + "/v1/top/" + w.tops[w.rng.Intn(len(w.tops))] +
+				"?n=" + strconv.Itoa(1+w.rng.Intn(w.maxN))
+			cl = clTop200
+		default:
+			url = w.base + "/v1/snapshot"
+		}
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			w.errs = append(w.errs, err.Error())
+			return
+		}
+		if cl != clSnapshot && w.rng.Float64() < w.reval {
+			if etag, ok := w.etags[url]; ok {
+				req.Header.Set("If-None-Match", etag)
+			}
+		}
+		start := time.Now()
+		resp, err := w.client.Do(req)
+		if err != nil {
+			w.errs = append(w.errs, err.Error())
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		ns := time.Since(start).Nanoseconds()
+
+		switch resp.StatusCode {
+		case http.StatusOK:
+			// keep the 200 class chosen above
+		case http.StatusNotModified:
+			if cl == clCountry200 {
+				cl = clCountry304
+			} else {
+				cl = clTop304
+			}
+		default:
+			w.errs = append(w.errs, fmt.Sprintf("%s: status %d", url, resp.StatusCode))
+			continue
+		}
+		if etag := resp.Header.Get("ETag"); etag != "" {
+			w.etags[url] = etag
+		}
+		w.samples = append(w.samples, sample{cl, ns})
+	}
+}
+
+func main() {
+	base := flag.String("url", "http://127.0.0.1:8080", "rankd base URL")
+	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
+	conc := flag.Int("conc", 8, "concurrent workers")
+	reval := flag.Float64("revalidate", 0.5, "fraction of eligible requests sent with If-None-Match")
+	maxN := flag.Int("n", 10, "top-N requests draw n uniformly from [1, this]")
+	out := flag.String("out", "", "output path (default BENCH_<date>_serving.json)")
+	seed := flag.Int64("seed", 1, "request-mix RNG seed")
+	ofl := obs.Flags("loadgen")
+	flag.Parse()
+	ofl.Init()
+	defer ofl.Done()
+
+	ccs, tops, err := discover(*base)
+	if err != nil {
+		slog.Error("discover /v1/snapshot failed", "url", *base, "err", err)
+		os.Exit(1)
+	}
+	slog.Info("discovered snapshot", "countries", len(ccs), "tops", tops)
+
+	transport := &http.Transport{MaxIdleConns: *conc * 2, MaxIdleConnsPerHost: *conc * 2}
+	client := &http.Client{Transport: transport, Timeout: 10 * time.Second}
+
+	mallocs0, scrapeOK := scrapeMallocs(*base, client)
+	workers := make([]*worker, *conc)
+	for i := range workers {
+		workers[i] = &worker{
+			rng:    rand.New(rand.NewSource(*seed + int64(i)*7919)),
+			client: client, base: *base, ccs: ccs, tops: tops,
+			maxN: *maxN, reval: *reval, etags: map[string]string{},
+		}
+	}
+	sp := obs.StartSpan("loadgen")
+	deadline := time.Now().Add(*duration)
+	wall := time.Now()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) { defer wg.Done(); w.run(deadline) }(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(wall)
+	mallocs1, scrapeOK2 := scrapeMallocs(*base, client)
+
+	var all []sample
+	var errs []string
+	for _, w := range workers {
+		all = append(all, w.samples...)
+		errs = append(errs, w.errs...)
+	}
+	sp.AddItems(int64(len(all)), "requests")
+	sp.End()
+	if len(all) == 0 {
+		slog.Error("no successful requests", "errors", len(errs))
+		for _, e := range errs[:min(len(errs), 5)] {
+			slog.Error("request failed", "err", e)
+		}
+		os.Exit(1)
+	}
+
+	reqPerS := float64(len(all)) / elapsed.Seconds()
+	var allocsPerReq float64
+	if scrapeOK && scrapeOK2 && mallocs1 >= mallocs0 {
+		allocsPerReq = float64(mallocs1-mallocs0) / float64(len(all))
+	}
+
+	date := time.Now().UTC().Format("2006-01-02")
+	snap := benchfmt.Snapshot{
+		Date: date, GoVersion: "", Bench: "serving", BenchTime: duration.String(),
+	}
+	byClass := make([][]int64, numClasses)
+	overall := make([]int64, 0, len(all))
+	for _, s := range all {
+		byClass[s.cl] = append(byClass[s.cl], s.ns)
+		overall = append(overall, s.ns)
+	}
+	fmt.Printf("%-20s %8s %10s %10s %10s\n", "class", "count", "p50", "p99", "p999")
+	addResult := func(name string, ns []int64, withRate bool) {
+		if len(ns) == 0 {
+			return
+		}
+		slices.Sort(ns)
+		p50, p99, p999 := pctl(ns, 0.50), pctl(ns, 0.99), pctl(ns, 0.999)
+		r := benchfmt.Result{
+			Name: name, Iters: int64(len(ns)), NsPerOp: float64(p50),
+			Extra: map[string]float64{"p99_ns": float64(p99), "p999_ns": float64(p999)},
+		}
+		if withRate {
+			r.Extra["req_per_s"] = reqPerS
+			r.AllocsOp = allocsPerReq
+		}
+		snap.Results = append(snap.Results, r)
+		fmt.Printf("%-20s %8d %10s %10s %10s\n", name, len(ns),
+			time.Duration(p50).Round(time.Microsecond),
+			time.Duration(p99).Round(time.Microsecond),
+			time.Duration(p999).Round(time.Microsecond))
+	}
+	for cl := class(0); cl < numClasses; cl++ {
+		addResult(classNames[cl], byClass[cl], false)
+	}
+	addResult("ServeAll", overall, true)
+	fmt.Printf("total %d requests in %s = %.0f req/s, %.1f server allocs/request\n",
+		len(all), elapsed.Round(time.Millisecond), reqPerS, allocsPerReq)
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s_serving.json", date)
+	}
+	if err := snap.WriteFile(path); err != nil {
+		slog.Error("write snapshot failed", "path", path, "err", err)
+		os.Exit(1)
+	}
+	slog.Info("wrote serving snapshot", "path", path, "requests", len(all))
+
+	if len(errs) > 0 {
+		slog.Error("requests failed", "count", len(errs))
+		for _, e := range errs[:min(len(errs), 5)] {
+			slog.Error("request failed", "err", e)
+		}
+		os.Exit(1)
+	}
+}
+
+// pctl reads the q-quantile from ascending-sorted ns (nearest-rank).
+func pctl(ns []int64, q float64) int64 {
+	i := int(q * float64(len(ns)))
+	if i >= len(ns) {
+		i = len(ns) - 1
+	}
+	return ns[i]
+}
+
+// discover fetches /v1/snapshot and returns the served country and top
+// metric lists.
+func discover(base string) (ccs, tops []string, err error) {
+	resp, err := http.Get(base + "/v1/snapshot")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var meta struct {
+		Countries []string `json:"countries"`
+		Tops      []string `json:"tops"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		return nil, nil, err
+	}
+	if len(meta.Countries) == 0 || len(meta.Tops) == 0 {
+		return nil, nil, fmt.Errorf("snapshot serves %d countries, %d tops", len(meta.Countries), len(meta.Tops))
+	}
+	return meta.Countries, meta.Tops, nil
+}
+
+// scrapeMallocs reads cumulative memstats.Mallocs from the daemon's
+// /debug/vars (expvar publishes memstats by default). ok is false when the
+// endpoint is unreachable, in which case allocs/request is omitted.
+func scrapeMallocs(base string, client *http.Client) (uint64, bool) {
+	resp, err := client.Get(base + "/debug/vars")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Memstats struct {
+			Mallocs uint64 `json:"Mallocs"`
+		} `json:"memstats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return 0, false
+	}
+	return vars.Memstats.Mallocs, true
+}

@@ -1,0 +1,172 @@
+// Command rankd serves country-level AS rankings as a long-running HTTP
+// service. It computes the paper's four country metrics (CCI/CCN/AHI/AHN)
+// for every country plus the global CCG/AHG rankings, preserializes them
+// into an immutable snapshot (internal/snapshot), and serves:
+//
+//	GET /v1/countries/{cc}     one country's four rankings
+//	GET /v1/top/{metric}?n=N   global top-N (ccg, ahg)
+//	GET /v1/snapshot           snapshot metadata (epoch, content digest)
+//
+// plus the shared debug surface (/metrics, /healthz, /debug/...) on the
+// same listener. Responses carry strong ETags and Cache-Control; the 200
+// and 304 paths do zero allocation and zero encoding per request.
+//
+// SIGHUP — or -refresh at an interval — recomputes the pipeline and
+// publishes a new snapshot with an atomic pointer swap; requests in flight
+// finish on the snapshot they loaded. SIGINT/SIGTERM drain gracefully.
+//
+// Usage:
+//
+//	rankd [-addr HOST:PORT] [-seed N] [-scale F] [-vpscale F] [-topn N]
+//	      [-refresh D] [-countries CC,CC,...]
+//	      [-v LEVEL] [-debug-addr HOST:PORT] [-trace-out FILE]
+//	      [-manifest FILE] [-timeline D]
+//
+// -manifest writes the provenance manifest as soon as the first snapshot is
+// published (not at exit), recording the serving config and the snapshot
+// content digest, so a scrape can be traced to the exact bytes served
+// while the daemon is still running.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"countryrank/internal/core"
+	"countryrank/internal/countries"
+	"countryrank/internal/obs"
+	"countryrank/internal/routing"
+	"countryrank/internal/snapshot"
+)
+
+func main() {
+	start0 := time.Now()
+	addr := flag.String("addr", "127.0.0.1:8080", "serve the snapshot API (and debug endpoints) on this host:port")
+	seed := flag.Int64("seed", 1, "world seed")
+	scale := flag.Float64("scale", 1, "stub-count scale factor")
+	vpscale := flag.Float64("vpscale", 1, "VP-count scale factor")
+	topn := flag.Int("topn", snapshot.DefaultMaxTopN, "max entries per ranking and /v1/top ?n= cap")
+	refresh := flag.Duration("refresh", 0, "recompute and atomically swap the snapshot at this interval (0 = only on SIGHUP)")
+	ccList := flag.String("countries", "", "comma-separated country codes to serve (default: all with ranked ASes)")
+	shards := flag.Int("shards", 0, "propagation shards (0 = 4×GOMAXPROCS)")
+	ofl := obs.Flags("rankd")
+	flag.Parse()
+	ofl.Init()
+
+	var only []countries.Code
+	for _, cc := range strings.Split(*ccList, ",") {
+		cc = strings.ToUpper(strings.TrimSpace(cc))
+		if cc == "" {
+			continue
+		}
+		if !countries.Known(countries.Code(cc)) {
+			slog.Error("unknown country", "code", cc)
+			os.Exit(1)
+		}
+		only = append(only, countries.Code(cc))
+	}
+	cfg := snapshot.Config{MaxTopN: *topn, Countries: only}
+	opt := core.Options{
+		Seed: *seed, StubScale: *scale, VPScale: *vpscale,
+		Routing: routing.BuildOptions{Shards: *shards},
+	}
+
+	ofl.Manifest.Seed("world", *seed)
+	build := func(epoch int64) *snapshot.Snapshot {
+		start := time.Now()
+		p := core.NewPipeline(opt)
+		snap := snapshot.Build(p, epoch, cfg)
+		slog.Info("snapshot built", "epoch", epoch, "digest", snap.Digest[:12],
+			"countries", len(snap.CountryCodes()), "took", time.Since(start).Round(time.Millisecond))
+		return snap
+	}
+
+	epoch := int64(1)
+	store := snapshot.NewStore(build(epoch))
+	first := store.Load()
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", snapshot.NewHandler(store))
+	mux.Handle("/", obs.NewDebugMux())
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		slog.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	slog.Info("rankd serving", "addr", ln.Addr().String(), "epoch", epoch)
+
+	// The manifest is written now — at publish, not at exit — so anything
+	// scraping the daemon can pair responses with the digest that produced
+	// them. The serving config rides along as notes.
+	ofl.Manifest.SetNote("serving_addr", ln.Addr().String())
+	ofl.Manifest.SetNote("snapshot_digest", first.Digest)
+	ofl.Manifest.SetNote("snapshot_epoch", strconv.FormatInt(first.Epoch, 10))
+	ofl.Manifest.SetNote("max_top_n", strconv.Itoa(first.MaxTopN()))
+	if *ofl.ManifestOut != "" {
+		ofl.Manifest.Finish(time.Since(start0), obs.Default.Snapshot(), obs.DefaultTrace.Render())
+		if err := ofl.Manifest.WriteFile(*ofl.ManifestOut); err != nil {
+			slog.Error("manifest write failed", "path", *ofl.ManifestOut, "err", err)
+		} else {
+			slog.Info("manifest written", "path", *ofl.ManifestOut)
+		}
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	var tick <-chan time.Time
+	if *refresh > 0 {
+		t := time.NewTicker(*refresh)
+		defer t.Stop()
+		tick = t.C
+	}
+
+	rollover := func(reason string) {
+		epoch++
+		next := build(epoch)
+		old := store.Swap(next)
+		slog.Info("snapshot swapped", "reason", reason, "epoch", epoch,
+			"digest", next.Digest[:12], "changed", old == nil || old.Digest != next.Digest)
+	}
+
+	for {
+		select {
+		case <-hup:
+			rollover("SIGHUP")
+		case <-tick:
+			rollover("refresh interval")
+		case sig := <-stop:
+			slog.Info("shutting down", "signal", sig.String())
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := srv.Shutdown(ctx); err != nil {
+				slog.Warn("shutdown incomplete", "err", err)
+			}
+			cancel()
+			ofl.Done()
+			return
+		case err := <-serveErr:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				slog.Error("serve failed", "err", err)
+				os.Exit(1)
+			}
+			ofl.Done()
+			return
+		}
+	}
+}

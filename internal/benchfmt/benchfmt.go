@@ -1,0 +1,57 @@
+// Package benchfmt defines the BENCH_*.json snapshot format shared by the
+// benchmark driver (cmd/bench) and the serving load generator
+// (cmd/loadgen), so kernel microbenchmarks and HTTP serving runs land in
+// the same regression-tracked file shape.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Result is one benchmark measurement. For `go test -bench` output the
+// fields carry their usual meanings; for serving runs NsPerOp is the p50
+// request latency, AllocsOp is server-side allocations per request, and
+// Extra carries p99_ns / p999_ns / req_per_s.
+type Result struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp float64 `json:"allocs_per_op,omitempty"`
+	MBPerS   float64 `json:"mb_per_s,omitempty"`
+	// Extra holds custom units (records/op, p99_ns, req_per_s, ...).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Snapshot is the BENCH_<date>.json file format.
+type Snapshot struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	Bench     string   `json:"bench"`
+	BenchTime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+// WriteFile writes the snapshot as indented JSON.
+func (s *Snapshot) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchfmt: marshal: %w", err)
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadFile parses a BENCH_*.json snapshot.
+func ReadFile(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return nil, fmt.Errorf("benchfmt: parse %s: %w", path, err)
+	}
+	return &s, nil
+}

@@ -72,8 +72,12 @@ type RunManifest struct {
 	Inputs        []InputDigest     `json:"inputs,omitempty"`
 	Coverage      *CoverageInfo     `json:"coverage,omitempty"`
 	SanitizeDrops *DropStats        `json:"sanitize_drops,omitempty"`
-	Metrics       map[string]any    `json:"metrics"`
-	SpanTree      string            `json:"span_tree"`
+	// Notes carries free-form provenance a cmd wants pinned to the run —
+	// rankd records its serving config and the published snapshot digest
+	// here, so a scraped ranking can be traced to the exact bytes served.
+	Notes    map[string]string `json:"notes,omitempty"`
+	Metrics  map[string]any    `json:"metrics"`
+	SpanTree string            `json:"span_tree"`
 
 	mu sync.Mutex
 }
@@ -113,6 +117,16 @@ func (m *RunManifest) Seed(name string, v int64) {
 		m.Seeds = map[string]int64{}
 	}
 	m.Seeds[name] = v
+}
+
+// SetNote records one named free-form provenance note.
+func (m *RunManifest) SetNote(name, value string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.Notes == nil {
+		m.Notes = map[string]string{}
+	}
+	m.Notes[name] = value
 }
 
 // AddInput hashes one input file (SHA-256 over its full content) into the

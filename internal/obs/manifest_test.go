@@ -156,3 +156,34 @@ func TestHashFile(t *testing.T) {
 		t.Error("HashFile on a missing file should error")
 	}
 }
+
+// TestManifestNotes checks SetNote: notes land in the JSON under "notes",
+// and a manifest with no notes omits the key entirely so the golden schema
+// (and every existing consumer) is unaffected.
+func TestManifestNotes(t *testing.T) {
+	m := &RunManifest{}
+	var b strings.Builder
+	if err := m.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), `"notes"`) {
+		t.Errorf("empty manifest should omit notes:\n%s", b.String())
+	}
+
+	m.SetNote("snapshot_digest", "abc123")
+	m.SetNote("serving_addr", "127.0.0.1:8080")
+	m.SetNote("snapshot_digest", "def456") // later writes win
+	b.Reset()
+	if err := m.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Notes map[string]string `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Notes["snapshot_digest"] != "def456" || back.Notes["serving_addr"] != "127.0.0.1:8080" {
+		t.Errorf("notes = %v", back.Notes)
+	}
+}

@@ -1,0 +1,48 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"testing"
+
+	"countryrank/internal/core"
+)
+
+// TestBuildFromPipeline runs the real ranking pipeline on a small synthetic
+// world and checks that Build renders a servable snapshot: every configured
+// country that ranked anything gets a page, both global metrics are present,
+// and the digest is reproducible for the same world.
+func TestBuildFromPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a full pipeline")
+	}
+	opt := core.Options{Seed: 3, StubScale: 0.15, VPScale: 0.2}
+	s := Build(core.NewPipeline(opt), 1, Config{MaxTopN: 5})
+
+	ccs := s.CountryCodes()
+	if len(ccs) == 0 {
+		t.Fatal("snapshot serves no countries")
+	}
+	for _, m := range s.TopMetrics() {
+		if m != "ahg" && m != "ccg" {
+			t.Errorf("unexpected top metric %q", m)
+		}
+	}
+	if len(s.TopMetrics()) != 2 {
+		t.Fatalf("TopMetrics = %v", s.TopMetrics())
+	}
+	for _, cc := range ccs {
+		if !json.Valid(s.CountryBody(cc)) {
+			t.Errorf("country %s body is invalid JSON", cc)
+		}
+	}
+	if !json.Valid(s.IndexBody()) {
+		t.Error("index body is invalid JSON")
+	}
+
+	// Same world, different epoch → same content digest (rollover with
+	// unchanged data keeps every ETag valid for caches).
+	s2 := Build(core.NewPipeline(opt), 2, Config{MaxTopN: 5})
+	if s2.Digest != s.Digest {
+		t.Errorf("digest not reproducible: %s vs %s", s.Digest, s2.Digest)
+	}
+}

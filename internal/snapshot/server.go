@@ -1,0 +1,260 @@
+package snapshot
+
+import (
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"countryrank/internal/obs"
+)
+
+// Serving metrics. Counters and histogram observations are plain atomic
+// adds, so keeping them on the hot path does not break the zero-allocation
+// guarantee the guard test pins.
+var (
+	mRequests = obs.NewCounter("countryrank_rankd_requests_total",
+		"HTTP requests handled by the /v1 snapshot endpoints")
+	mServed200 = obs.NewCounter("countryrank_rankd_responses_200_total",
+		"full-body snapshot responses")
+	mServed304 = obs.NewCounter("countryrank_rankd_responses_304_total",
+		"If-None-Match revalidations answered with 304")
+	mMisses = obs.NewCounter("countryrank_rankd_responses_miss_total",
+		"4xx/5xx snapshot responses (unknown path, bad query, no snapshot)")
+	mBodyBytes = obs.NewCounter("countryrank_rankd_body_bytes_total",
+		"response body bytes written by the snapshot endpoints")
+	mSwaps = obs.NewCounter("countryrank_rankd_snapshot_swaps_total",
+		"snapshot rollovers published to the store")
+	mEpoch = obs.NewGauge("countryrank_rankd_snapshot_epoch",
+		"epoch of the currently served snapshot")
+
+	mLatCountry = obs.NewHistogram("countryrank_rankd_country_seconds",
+		"latency of /v1/countries/{cc}", obs.ServingBuckets)
+	mLatTop = obs.NewHistogram("countryrank_rankd_top_seconds",
+		"latency of /v1/top/{metric}", obs.ServingBuckets)
+	mLatIndex = obs.NewHistogram("countryrank_rankd_snapshot_seconds",
+		"latency of /v1/snapshot", obs.ServingBuckets)
+)
+
+// Store publishes the currently served snapshot. Swap is an atomic pointer
+// store: readers that already loaded the old snapshot keep serving it
+// unperturbed (it is immutable), new requests observe the new one, and the
+// old snapshot is garbage-collected once the last in-flight response
+// holding it returns. No locks, no reference counts.
+type Store struct {
+	cur atomic.Pointer[Snapshot]
+}
+
+// NewStore returns a store serving s (which may be nil; requests then
+// answer 503 until the first Swap).
+func NewStore(s *Snapshot) *Store {
+	st := &Store{}
+	if s != nil {
+		st.cur.Store(s)
+		mEpoch.Set(s.Epoch)
+	}
+	return st
+}
+
+// Load returns the currently published snapshot (nil before the first
+// Swap).
+func (st *Store) Load() *Snapshot { return st.cur.Load() }
+
+// Swap publishes next and returns the previously served snapshot.
+func (st *Store) Swap(next *Snapshot) *Snapshot {
+	old := st.cur.Swap(next)
+	mSwaps.Inc()
+	mEpoch.Set(next.Epoch)
+	return old
+}
+
+// Precomputed header values, assigned into the response header map by
+// reference so the hot path allocates nothing per request.
+var (
+	hdrContentType  = []string{"application/json; charset=utf-8"}
+	hdrCacheControl = []string{"public, max-age=15, stale-while-revalidate=60"}
+)
+
+// Handler serves the snapshot API:
+//
+//	GET /v1/countries/{cc}     one country's CCI/CCN/AHI/AHN page
+//	GET /v1/top/{metric}?n=N   global top-N (metric: ccg, ahg; default n=10)
+//	GET /v1/snapshot           snapshot metadata (epoch, digest, coverage)
+//
+// Every 200 carries a strong ETag (content SHA-256), Content-Length, and
+// Cache-Control; If-None-Match revalidation answers 304 with no body. The
+// 200 and 304 paths perform zero allocations and zero encoding per request:
+// the handler resolves a preserialized entity, assigns precomputed header
+// slices, and writes stored bytes.
+type Handler struct {
+	store *Store
+}
+
+// NewHandler serves from st.
+func NewHandler(st *Store) *Handler { return &Handler{store: st} }
+
+const (
+	prefixCountries = "/v1/countries/"
+	prefixTop       = "/v1/top/"
+	pathIndex       = "/v1/snapshot"
+)
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	mRequests.Inc()
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		mMisses.Inc()
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	snap := h.store.Load()
+	if snap == nil {
+		mMisses.Inc()
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+
+	var (
+		e   *entity
+		lat *obs.Histogram
+	)
+	path := r.URL.Path
+	switch {
+	case path == pathIndex:
+		e, lat = snap.index, mLatIndex
+	case len(path) > len(prefixCountries) && path[:len(prefixCountries)] == prefixCountries:
+		e, lat = snap.country(path[len(prefixCountries):]), mLatCountry
+	case len(path) > len(prefixTop) && path[:len(prefixTop)] == prefixTop:
+		var ok bool
+		e, ok = snap.top(path[len(prefixTop):], r.URL.RawQuery)
+		if !ok {
+			mMisses.Inc()
+			http.Error(w, "bad n parameter", http.StatusBadRequest)
+			return
+		}
+		lat = mLatTop
+	}
+	if e == nil {
+		mMisses.Inc()
+		http.NotFound(w, r)
+		return
+	}
+
+	hdr := w.Header()
+	hdr["Etag"] = e.etagHdr
+	hdr["Cache-Control"] = hdrCacheControl
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, e.etag) {
+		w.WriteHeader(http.StatusNotModified)
+		mServed304.Inc()
+		lat.Observe(time.Since(start))
+		return
+	}
+	hdr["Content-Type"] = hdrContentType
+	hdr["Content-Length"] = e.lenHdr
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		// ResponseWriter.Write on a []byte does not allocate; the net/http
+		// connection machinery copies into its own buffered writer.
+		_, _ = w.Write(e.body)
+		mBodyBytes.Add(int64(len(e.body)))
+	}
+	mServed200.Inc()
+	lat.Observe(time.Since(start))
+}
+
+// country resolves a country page. The code is ASCII-uppercased into a
+// stack buffer so lower-case URLs hit without allocating (map lookups with
+// a string(buf) key stay on the stack).
+func (s *Snapshot) country(cc string) *entity {
+	var buf [8]byte
+	if len(cc) == 0 || len(cc) > len(buf) {
+		return nil
+	}
+	for i := 0; i < len(cc); i++ {
+		c := cc[i]
+		if c == '/' {
+			return nil // no sub-paths under a country
+		}
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	return s.countries[string(buf[:len(cc)])]
+}
+
+// top resolves a top-N variant from the metric path segment and the raw
+// query. ok is false only for an unparseable or non-positive n; an unknown
+// metric returns (nil, true) so the caller 404s.
+func (s *Snapshot) top(metric, rawQuery string) (e *entity, ok bool) {
+	var buf [16]byte
+	if len(metric) == 0 || len(metric) > len(buf) {
+		return nil, true
+	}
+	for i := 0; i < len(metric); i++ {
+		c := metric[i]
+		if c == '/' {
+			return nil, true
+		}
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	variants := s.tops[string(buf[:len(metric)])]
+	if variants == nil {
+		return nil, true
+	}
+	n, ok := queryN(rawQuery, 10)
+	if !ok || n <= 0 {
+		return nil, false
+	}
+	if n > s.maxTopN {
+		n = s.maxTopN // cap, don't reject: CDN-friendly clamping
+	}
+	if n > len(variants) {
+		n = len(variants) // fewer ranked ASes than requested
+	}
+	return variants[n-1], true
+}
+
+// queryN extracts the n parameter from a raw (unescaped) query string
+// without url.ParseQuery's allocations. Absent n yields def; a present but
+// malformed n yields ok=false.
+func queryN(q string, def int) (n int, ok bool) {
+	for len(q) > 0 {
+		// Slice off one key=value pair.
+		pair := q
+		if i := strings.IndexByte(q, '&'); i >= 0 {
+			pair, q = q[:i], q[i+1:]
+		} else {
+			q = ""
+		}
+		if len(pair) < 2 || pair[0] != 'n' || pair[1] != '=' {
+			continue
+		}
+		v := pair[2:]
+		if len(v) == 0 || len(v) > 9 {
+			return 0, false
+		}
+		n = 0
+		for i := 0; i < len(v); i++ {
+			c := v[i]
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			n = n*10 + int(c-'0')
+		}
+		return n, true
+	}
+	return def, true
+}
+
+// etagMatch implements the If-None-Match comparison for our strong ETags:
+// "*" matches anything, otherwise the header must list the exact tag
+// (weak-prefixed forms of it included, per RFC 9110 §8.8.3.2's weak
+// comparison for If-None-Match). strings.Contains does not allocate.
+func etagMatch(header, etag string) bool {
+	return header == "*" || strings.Contains(header, etag)
+}

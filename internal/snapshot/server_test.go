@@ -1,0 +1,252 @@
+package snapshot
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func testSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	return Assemble(testData(1), Config{})
+}
+
+func get(t *testing.T, h http.Handler, path string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestHandlerCountry(t *testing.T) {
+	s := testSnapshot(t)
+	h := NewHandler(NewStore(s))
+
+	for _, path := range []string{"/v1/countries/AU", "/v1/countries/au", "/v1/countries/aU"} {
+		w := get(t, h, path, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, w.Code)
+		}
+		if got := w.Body.String(); got != string(s.CountryBody("AU")) {
+			t.Errorf("GET %s body mismatch:\n%s", path, got)
+		}
+		if et := w.Header().Get("ETag"); et != s.CountryETag("AU") {
+			t.Errorf("GET %s ETag = %q, want %q", path, et, s.CountryETag("AU"))
+		}
+		if cl := w.Header().Get("Content-Length"); cl != strconv.Itoa(w.Body.Len()) {
+			t.Errorf("GET %s Content-Length = %q, body %d bytes", path, cl, w.Body.Len())
+		}
+		if cc := w.Header().Get("Cache-Control"); !strings.Contains(cc, "max-age") {
+			t.Errorf("GET %s Cache-Control = %q", path, cc)
+		}
+		if ct := w.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+			t.Errorf("GET %s Content-Type = %q", path, ct)
+		}
+	}
+}
+
+func TestHandlerConditional(t *testing.T) {
+	s := testSnapshot(t)
+	h := NewHandler(NewStore(s))
+	etag := s.CountryETag("AU")
+
+	cases := []struct {
+		inm  string
+		want int
+	}{
+		{etag, http.StatusNotModified},
+		{`"stale", ` + etag, http.StatusNotModified}, // listed among others
+		{"W/" + etag, http.StatusNotModified},        // weak comparison
+		{"*", http.StatusNotModified},
+		{`"something-else"`, http.StatusOK},
+		{"", http.StatusOK},
+	}
+	for _, c := range cases {
+		hdr := map[string]string{}
+		if c.inm != "" {
+			hdr["If-None-Match"] = c.inm
+		}
+		w := get(t, h, "/v1/countries/AU", hdr)
+		if w.Code != c.want {
+			t.Errorf("If-None-Match %q: status %d, want %d", c.inm, w.Code, c.want)
+		}
+		if et := w.Header().Get("ETag"); et != etag {
+			t.Errorf("If-None-Match %q: ETag %q, want %q", c.inm, et, etag)
+		}
+		if c.want == http.StatusNotModified && w.Body.Len() != 0 {
+			t.Errorf("If-None-Match %q: 304 carried %d body bytes", c.inm, w.Body.Len())
+		}
+	}
+}
+
+func TestHandlerTop(t *testing.T) {
+	s := testSnapshot(t)
+	h := NewHandler(NewStore(s))
+
+	// Explicit n, case-insensitive metric.
+	for _, path := range []string{"/v1/top/ccg?n=2", "/v1/top/CCG?n=2"} {
+		w := get(t, h, path, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", path, w.Code, w.Body.String())
+		}
+		if got, want := w.Body.String(), string(s.tops["ccg"][1].body); got != want {
+			t.Errorf("GET %s body = %s, want %s", path, got, want)
+		}
+	}
+
+	// Default n=10 clamps to the 3 available entries → largest variant.
+	w := get(t, h, "/v1/top/ccg", nil)
+	if w.Code != http.StatusOK || w.Body.String() != string(s.tops["ccg"][2].body) {
+		t.Errorf("GET /v1/top/ccg (default n) = %d %s", w.Code, w.Body.String())
+	}
+	// Oversized n clamps the same way rather than 400/404ing.
+	w = get(t, h, "/v1/top/ccg?n=999", nil)
+	if w.Code != http.StatusOK || w.Body.String() != string(s.tops["ccg"][2].body) {
+		t.Errorf("GET /v1/top/ccg?n=999 = %d", w.Code)
+	}
+	// Extra params around n are ignored.
+	w = get(t, h, "/v1/top/ccg?foo=bar&n=1&x=2", nil)
+	if w.Code != http.StatusOK || w.Body.String() != string(s.tops["ccg"][0].body) {
+		t.Errorf("GET with surrounding params = %d", w.Code)
+	}
+}
+
+func TestHandlerErrors(t *testing.T) {
+	s := testSnapshot(t)
+	h := NewHandler(NewStore(s))
+
+	for path, want := range map[string]int{
+		"/v1/countries/ZZ":          http.StatusNotFound, // unknown country
+		"/v1/countries/AU/x":        http.StatusNotFound, // no sub-paths
+		"/v1/countries/":            http.StatusNotFound,
+		"/v1/countries/TOOLONGCODE": http.StatusNotFound,
+		"/v1/top/bogus":             http.StatusNotFound, // unknown metric
+		"/v1/top/ccg/extra":         http.StatusNotFound,
+		"/v1/other":                 http.StatusNotFound,
+		"/v1/":                      http.StatusNotFound,
+		"/v1/top/ccg?n=abc":         http.StatusBadRequest,
+		"/v1/top/ccg?n=":            http.StatusBadRequest,
+		"/v1/top/ccg?n=0":           http.StatusBadRequest,
+		"/v1/top/ccg?n=-1":          http.StatusBadRequest,
+		"/v1/top/ccg?n=1234567890":  http.StatusBadRequest, // > 9 digits
+	} {
+		if w := get(t, h, path, nil); w.Code != want {
+			t.Errorf("GET %s = %d, want %d", path, w.Code, want)
+		}
+	}
+
+	// Non-GET/HEAD methods are rejected with Allow.
+	req := httptest.NewRequest(http.MethodPost, "/v1/snapshot", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed || w.Header().Get("Allow") == "" {
+		t.Errorf("POST = %d, Allow = %q", w.Code, w.Header().Get("Allow"))
+	}
+
+	// A store with no published snapshot answers 503.
+	empty := NewHandler(NewStore(nil))
+	if w := get(t, empty, "/v1/snapshot", nil); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("empty store GET = %d, want 503", w.Code)
+	}
+}
+
+func TestHandlerHead(t *testing.T) {
+	s := testSnapshot(t)
+	h := NewHandler(NewStore(s))
+	req := httptest.NewRequest(http.MethodHead, "/v1/countries/AU", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("HEAD = %d", w.Code)
+	}
+	if w.Body.Len() != 0 {
+		t.Errorf("HEAD carried %d body bytes", w.Body.Len())
+	}
+	if cl := w.Header().Get("Content-Length"); cl != strconv.Itoa(len(s.CountryBody("AU"))) {
+		t.Errorf("HEAD Content-Length = %q", cl)
+	}
+}
+
+func TestStoreSwap(t *testing.T) {
+	a := Assemble(testData(1), Config{})
+	b := Assemble(testData(2), Config{})
+	st := NewStore(a)
+	if st.Load() != a {
+		t.Fatal("Load != initial snapshot")
+	}
+	if old := st.Swap(b); old != a {
+		t.Fatal("Swap did not return the previous snapshot")
+	}
+	if st.Load() != b {
+		t.Fatal("Load != swapped snapshot")
+	}
+}
+
+// nopWriter is a minimal ResponseWriter for the allocation guard: Header
+// returns a reused map (as net/http does for a live connection) and Write
+// discards. Anything the handler allocates is therefore the handler's own.
+type nopWriter struct {
+	hdr  http.Header
+	code int
+	n    int
+}
+
+func (w *nopWriter) Header() http.Header { return w.hdr }
+func (w *nopWriter) WriteHeader(c int)   { w.code = c }
+func (w *nopWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// TestServeZeroAllocs pins the tentpole property: the 200 and 304 paths of
+// every endpoint perform zero heap allocations per request. If this fails,
+// the serving hot path regressed — don't loosen the pin, find the alloc.
+func TestServeZeroAllocs(t *testing.T) {
+	s := testSnapshot(t)
+	h := NewHandler(NewStore(s))
+
+	cases := []struct {
+		name string
+		path string
+		inm  string
+	}{
+		{"country 200", "/v1/countries/AU", ""},
+		{"country lowercase 200", "/v1/countries/au", ""},
+		{"country 304", "/v1/countries/AU", s.CountryETag("AU")},
+		{"top 200", "/v1/top/ccg?n=2", ""},
+		{"top default-n 200", "/v1/top/ccg", ""},
+		{"top 304", "/v1/top/ccg?n=2", s.tops["ccg"][1].etag},
+		{"index 200", "/v1/snapshot", ""},
+	}
+	for _, c := range cases {
+		u, err := url.Parse(c.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := &http.Request{Method: http.MethodGet, URL: u, Header: http.Header{}}
+		if c.inm != "" {
+			req.Header.Set("If-None-Match", c.inm)
+		}
+		w := &nopWriter{hdr: http.Header{}}
+		allocs := testing.AllocsPerRun(200, func() {
+			h.ServeHTTP(w, req)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %.1f allocs/request, want 0", c.name, allocs)
+		}
+		wantCode := http.StatusOK
+		if c.inm != "" {
+			wantCode = http.StatusNotModified
+		}
+		if w.code != wantCode {
+			t.Errorf("%s: status %d, want %d", c.name, w.code, wantCode)
+		}
+	}
+}

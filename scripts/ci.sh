@@ -130,4 +130,81 @@ curl -fsS "http://127.0.0.1:$obs_port/debug/trace" | grep -q traceEvents
 kill "$obs_pid" 2>/dev/null || true
 wait "$obs_pid" 2>/dev/null || true
 
+echo '--- rankd smoke (serve, revalidate, rollover, manifest digest, loadgen gate)'
+# Start the serving daemon on a small world, exercise the conditional-request
+# contract end to end (200 with a strong ETag, then 304 on If-None-Match
+# replay), roll the snapshot over with SIGHUP, check the serving metrics
+# moved, pair the manifest's recorded digest with the one actually served,
+# and close with a short loadgen run pushed through the same regression gate
+# the kernel benches use.
+rankd_port=$((20000 + RANDOM % 20000))
+rankd_dir=$(mktemp -d)
+go build -o "$rankd_dir/rankd" ./cmd/rankd
+go build -o "$rankd_dir/loadgen" ./cmd/loadgen
+go build -o "$rankd_dir/bench" ./cmd/bench
+"$rankd_dir/rankd" -addr "127.0.0.1:$rankd_port" -scale 0.15 -vpscale 0.2 \
+    -topn 10 -manifest "$rankd_dir/manifest.json" >"$rankd_dir/rankd.log" 2>&1 &
+rankd_pid=$!
+trap 'kill "$obs_pid" "$rankd_pid" 2>/dev/null || true; rm -rf "$obs_dir" "$rankd_dir"' EXIT
+rankd_base="http://127.0.0.1:$rankd_port"
+
+# The listener comes up only after the first snapshot is built; poll for it.
+for _ in $(seq 1 120); do
+    if ! kill -0 "$rankd_pid" 2>/dev/null; then
+        echo "rankd exited before serving:" >&2
+        cat "$rankd_dir/rankd.log" >&2
+        exit 1
+    fi
+    curl -fsS "$rankd_base/v1/snapshot" >"$rankd_dir/snapshot.json" 2>/dev/null && break
+    sleep 1
+done
+served_digest=$(sed -n 's/.*"digest":"\([0-9a-f]*\)".*/\1/p' "$rankd_dir/snapshot.json")
+cc=$(sed -n 's/.*"countries":\["\([A-Z][A-Z]*\)".*/\1/p' "$rankd_dir/snapshot.json")
+[[ -n "$served_digest" && -n "$cc" ]]
+
+# 200 with a strong ETag, then 304 on replay with that exact tag.
+curl -fsS -D "$rankd_dir/country.hdr" -o "$rankd_dir/country.json" \
+    "$rankd_base/v1/countries/$cc"
+etag=$(awk 'tolower($1) == "etag:" { print $2 }' "$rankd_dir/country.hdr" | tr -d '\r')
+[[ "$etag" == '"'*'"' ]]
+grep -q "\"country\":\"$cc\"" "$rankd_dir/country.json"
+code=$(curl -s -o /dev/null -w '%{http_code}' \
+    -H "If-None-Match: $etag" "$rankd_base/v1/countries/$cc")
+[[ "$code" == 304 ]]
+curl -fsS "$rankd_base/v1/top/ccg?n=3" | grep -q '"n":3'
+
+# SIGHUP publishes a new snapshot; same data, so the digest must not move.
+kill -HUP "$rankd_pid"
+for _ in $(seq 1 120); do
+    curl -fsS "$rankd_base/v1/snapshot" 2>/dev/null | grep -q '"epoch":2' && break
+    sleep 1
+done
+curl -fsS "$rankd_base/v1/snapshot" | grep -q '"epoch":2'
+curl -fsS "$rankd_base/v1/snapshot" | grep -q "\"digest\":\"$served_digest\""
+
+# Serving metrics moved, and the manifest recorded the digest being served.
+curl -fsS "$rankd_base/metrics" >"$rankd_dir/metrics.txt"
+obs_metrics="$rankd_dir/metrics.txt"
+require_nonzero countryrank_rankd_requests_total
+require_nonzero countryrank_rankd_responses_200_total
+require_nonzero countryrank_rankd_responses_304_total
+require_nonzero countryrank_rankd_snapshot_swaps_total
+manifest_digest=$(sed -n 's/.*"snapshot_digest": *"\([0-9a-f]*\)".*/\1/p' "$rankd_dir/manifest.json")
+if [[ "$manifest_digest" != "$served_digest" ]]; then
+    echo "manifest snapshot_digest $manifest_digest != served digest $served_digest" >&2
+    exit 1
+fi
+
+# A short load run, gated against the committed serving baseline. The
+# tolerance is deliberately loose: CI hosts differ wildly in single-request
+# latency, so this catches order-of-magnitude regressions and wiring rot,
+# while the committed baseline documents real measured numbers.
+"$rankd_dir/loadgen" -url "$rankd_base" -duration 2s -conc 4 -n 10 \
+    -out "$rankd_dir/serving.json"
+serving_baseline=$(ls BENCH_*_serving.json | tail -1)
+"$rankd_dir/bench" -input "$rankd_dir/serving.json" \
+    -baseline "$serving_baseline" -tolerance 25
+kill "$rankd_pid" 2>/dev/null || true
+wait "$rankd_pid" 2>/dev/null || true
+
 echo 'CI OK'
