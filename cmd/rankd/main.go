@@ -9,7 +9,8 @@
 //
 // plus the shared debug surface (/metrics, /healthz, /debug/...) on the
 // same listener. Responses carry strong ETags and Cache-Control; the 200
-// and 304 paths do zero allocation and zero encoding per request.
+// and 304 paths do zero allocation and zero encoding per request — with
+// access logging, SLO accounting, and metrics enabled.
 //
 // SIGHUP — or -refresh at an interval — recomputes the pipeline and
 // publishes a new snapshot with an atomic pointer swap; requests in flight
@@ -19,13 +20,29 @@
 //
 //	rankd [-addr HOST:PORT] [-seed N] [-scale F] [-vpscale F] [-topn N]
 //	      [-refresh D] [-countries CC,CC,...]
+//	      [-access-log PATH] [-access-log-sample N] [-access-log-slow D]
+//	      [-trace-sample F] [-slo SPEC] [-slow-probe D]
 //	      [-v LEVEL] [-debug-addr HOST:PORT] [-trace-out FILE]
 //	      [-manifest FILE] [-timeline D]
+//
+// Observability:
+//
+//   - -access-log writes one wide JSON event per request ("-" for stderr)
+//     through a lock-free ring, head-sampled by -access-log-sample; errors
+//     and requests slower than -access-log-slow are always logged.
+//   - -trace-sample promotes that fraction of requests to full traces,
+//     inspectable at /debug/requests (active, recent, slowest per route).
+//   - -slo (e.g. "availability=99.9,latency=99.9@5ms" or "default") tracks
+//     burn rates at /debug/slo and flips /healthz to 503 degraded while the
+//     fast burn exceeds its trip threshold.
+//   - -slow-probe delays requests whose query carries probe=slow — a CI
+//     hook for exercising the degraded flip.
 //
 // -manifest writes the provenance manifest as soon as the first snapshot is
 // published (not at exit), recording the serving config and the snapshot
 // content digest, so a scrape can be traced to the exact bytes served
-// while the daemon is still running.
+// while the daemon is still running. At shutdown the manifest is rewritten
+// with the final SLO burn state as notes.
 package main
 
 import (
@@ -59,6 +76,12 @@ func main() {
 	refresh := flag.Duration("refresh", 0, "recompute and atomically swap the snapshot at this interval (0 = only on SIGHUP)")
 	ccList := flag.String("countries", "", "comma-separated country codes to serve (default: all with ranked ASes)")
 	shards := flag.Int("shards", 0, "propagation shards (0 = 4×GOMAXPROCS)")
+	accessLog := flag.String("access-log", "", "write wide-event request logs to this file (\"-\" = stderr, empty = off)")
+	accessSample := flag.Int("access-log-sample", 1, "log 1 in N successful responses (0 = none; errors and slow requests always logged)")
+	accessSlow := flag.Duration("access-log-slow", 100*time.Millisecond, "always log requests at least this slow (0 disables the override)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests promoted to /debug/requests traces (0 = off, 1 = all)")
+	sloSpec := flag.String("slo", "", "serving objectives, e.g. \"availability=99.9,latency=99.9@5ms\" or \"default\" (empty = off)")
+	slowProbe := flag.Duration("slow-probe", 0, "delay requests tagged probe=slow by this much (CI latency-injection hook)")
 	ofl := obs.Flags("rankd")
 	flag.Parse()
 	ofl.Init()
@@ -95,8 +118,50 @@ func main() {
 	store := snapshot.NewStore(build(epoch))
 	first := store.Load()
 
+	// Assemble the serving instrumentation from the observability flags.
+	ins := snapshot.Instrumentation{SlowProbe: *slowProbe}
+	if *accessLog != "" {
+		out := os.Stderr
+		if *accessLog != "-" {
+			f, err := os.Create(*accessLog)
+			if err != nil {
+				slog.Error("access log open failed", "path", *accessLog, "err", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		ins.Log = obs.NewAccessLog(
+			slog.New(slog.NewJSONHandler(out, nil)),
+			obs.AccessLogConfig{SampleOK: *accessSample, SlowAfter: *accessSlow},
+		).Start()
+		defer ins.Log.Close()
+	}
+	if *traceSample > 0 {
+		ins.Requests = obs.NewReqTracker(*seed, *traceSample, 64, 8)
+		obs.SetDefaultRequests(ins.Requests)
+	}
+	var slo *obs.SLO
+	if *sloSpec != "" {
+		cfg, err := obs.ParseSLO(*sloSpec)
+		if err != nil {
+			slog.Error("bad -slo", "spec", *sloSpec, "err", err)
+			os.Exit(1)
+		}
+		slo = obs.NewSLO(cfg)
+		ins.SLO = slo
+		obs.SetDefaultSLO(slo)
+		ofl.Manifest.SetNote("slo_config", cfg.String())
+	}
+	if *traceSample > 0 {
+		ofl.Manifest.SetNote("trace_sample", strconv.FormatFloat(*traceSample, 'g', -1, 64))
+	}
+
+	h := snapshot.NewHandler(store)
+	h.Instrument(ins)
+
 	mux := http.NewServeMux()
-	mux.Handle("/v1/", snapshot.NewHandler(store))
+	mux.Handle("/v1/", h)
 	mux.Handle("/", obs.NewDebugMux())
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	ln, err := net.Listen("tcp", *addr)
@@ -137,6 +202,24 @@ func main() {
 		tick = t.C
 	}
 
+	// finish records the final SLO burn state into the manifest (Done
+	// rewrites it when -manifest was given) before the shared teardown.
+	finish := func() {
+		if slo != nil {
+			availFast, availSlow, latFast, latSlow := slo.Burns()
+			reason, degraded := slo.Degraded()
+			ofl.Manifest.SetNote("slo_availability_fast_burn", strconv.FormatFloat(availFast, 'g', 4, 64))
+			ofl.Manifest.SetNote("slo_availability_slow_burn", strconv.FormatFloat(availSlow, 'g', 4, 64))
+			ofl.Manifest.SetNote("slo_latency_fast_burn", strconv.FormatFloat(latFast, 'g', 4, 64))
+			ofl.Manifest.SetNote("slo_latency_slow_burn", strconv.FormatFloat(latSlow, 'g', 4, 64))
+			ofl.Manifest.SetNote("slo_degraded", strconv.FormatBool(degraded))
+			if degraded {
+				ofl.Manifest.SetNote("slo_degraded_reason", reason)
+			}
+		}
+		ofl.Done()
+	}
+
 	rollover := func(reason string) {
 		epoch++
 		next := build(epoch)
@@ -158,14 +241,14 @@ func main() {
 				slog.Warn("shutdown incomplete", "err", err)
 			}
 			cancel()
-			ofl.Done()
+			finish()
 			return
 		case err := <-serveErr:
 			if err != nil && !errors.Is(err, http.ErrServerClosed) {
 				slog.Error("serve failed", "err", err)
 				os.Exit(1)
 			}
-			ofl.Done()
+			finish()
 			return
 		}
 	}

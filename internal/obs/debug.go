@@ -13,22 +13,56 @@ import (
 // NewDebugMux builds the debug endpoint set every cmd shares:
 //
 //	/metrics         Prometheus text exposition of the Default registry
-//	/healthz         liveness probe ("ok")
+//	/healthz         health probe: "ok", or 503 "degraded: <reason>" while
+//	                 the installed SLO engine's fast-burn threshold trips
 //	/debug/vars      expvar JSON (includes the countryrank metric bridge)
 //	/debug/pprof     the standard pprof profile index
 //	/debug/trace     Chrome trace-event JSON snapshot of the DefaultTrace
 //	/debug/timeline  ring-buffer metric timeline JSON (empty series when
 //	                 no timeline sampler is installed)
+//	/debug/requests  sampled request traces: active, recent, and slowest-N
+//	                 per route (empty when no tracker is installed)
+//	/debug/slo       objectives, window counts, and burn rates (disabled
+//	                 marker when no SLO engine is installed)
 func NewDebugMux() *http.ServeMux {
 	PublishExpvar()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		RefreshRuntimeMetrics()
+		if s := GetDefaultSLO(); s != nil {
+			s.refreshMetrics()
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = Default.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s := GetDefaultSLO(); s != nil {
+			if reason, degraded := s.Degraded(); degraded {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, "degraded: "+reason)
+				return
+			}
+		}
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		if t := GetDefaultRequests(); t != nil {
+			_ = enc.Encode(t.Snapshot())
+			return
+		}
+		_ = enc.Encode(RequestsData{Active: []ReqSpanData{}, Routes: map[string]RouteRequests{}})
+	})
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		if s := GetDefaultSLO(); s != nil {
+			_ = enc.Encode(s.Status())
+			return
+		}
+		_ = enc.Encode(map[string]bool{"enabled": false})
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")

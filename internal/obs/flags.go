@@ -71,6 +71,7 @@ func (f *CmdFlags) Init() {
 	}
 	h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
 	slog.SetDefault(slog.New(h).With("cmd", f.cmd))
+	EnableRuntimeMetrics()
 	f.Manifest = NewRunManifest(f.cmd, f.fs)
 	if *f.DebugAddr != "" {
 		addr, shutdown, err := ServeDebug(*f.DebugAddr)

@@ -57,6 +57,42 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// A FloatGauge is a float64-valued gauge (burn rates, ratios) stored as
+// atomic bits, so reads and writes stay lock- and allocation-free.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// A FloatCounter is a float64-valued monotonic metric (e.g. cumulative GC
+// pause seconds). Values are refreshed with Set from an already-monotonic
+// source; Set never moves the counter backwards.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Set raises the counter to v; a v below the current value is ignored so
+// the series stays monotonic even if the refresh source resets.
+func (c *FloatCounter) Set(v float64) {
+	for {
+		old := c.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if c.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
 // DurationBuckets is the default histogram bucket layout: upper bounds in
 // seconds spanning 100µs to 10s, wide enough for every pipeline stage from a
 // single kernel run to a full build.
@@ -145,6 +181,8 @@ type metric struct {
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	fg   *FloatGauge
+	fc   *FloatCounter
 }
 
 // A Registry holds named metrics and renders them for exposition. The zero
@@ -199,6 +237,26 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return m.g
 }
 
+// FloatGauge returns the registry's float gauge with the given name,
+// creating it if needed.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	m := r.register(name, help, func() *metric { return &metric{fg: &FloatGauge{}} })
+	if m.fg == nil {
+		panic(fmt.Sprintf("obs: metric %q is not a float gauge", name))
+	}
+	return m.fg
+}
+
+// FloatCounter returns the registry's float counter with the given name,
+// creating it if needed.
+func (r *Registry) FloatCounter(name, help string) *FloatCounter {
+	m := r.register(name, help, func() *metric { return &metric{fc: &FloatCounter{}} })
+	if m.fc == nil {
+		panic(fmt.Sprintf("obs: metric %q is not a float counter", name))
+	}
+	return m.fc
+}
+
 // Histogram returns the registry's histogram with the given name, creating
 // it with the given bucket upper bounds (nil selects DurationBuckets).
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
@@ -225,6 +283,13 @@ func NewCounter(name, help string) *Counter { return Default.Counter(name, help)
 
 // NewGauge registers (or fetches) a gauge in the Default registry.
 func NewGauge(name, help string) *Gauge { return Default.Gauge(name, help) }
+
+// NewFloatGauge registers (or fetches) a float gauge in the Default registry.
+func NewFloatGauge(name, help string) *FloatGauge { return Default.FloatGauge(name, help) }
+
+// NewFloatCounter registers (or fetches) a float counter in the Default
+// registry.
+func NewFloatCounter(name, help string) *FloatCounter { return Default.FloatCounter(name, help) }
 
 // NewHistogram registers (or fetches) a duration histogram in the Default
 // registry, with DurationBuckets when buckets is nil.

@@ -31,6 +31,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case m.g != nil:
 			fmt.Fprintf(&b, "# TYPE %s gauge\n", m.name)
 			fmt.Fprintf(&b, "%s %d\n", m.name, m.g.Value())
+		case m.fg != nil:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", m.name)
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.fg.Value()))
+		case m.fc != nil:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", m.name)
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.fc.Value()))
 		case m.h != nil:
 			fmt.Fprintf(&b, "# TYPE %s histogram\n", m.name)
 			cum := m.h.snapshot()
@@ -61,6 +67,10 @@ func (r *Registry) Snapshot() map[string]any {
 			out[m.name] = m.c.Value()
 		case m.g != nil:
 			out[m.name] = m.g.Value()
+		case m.fg != nil:
+			out[m.name] = m.fg.Value()
+		case m.fc != nil:
+			out[m.name] = m.fc.Value()
 		case m.h != nil:
 			out[m.name+"_count"] = m.h.Count()
 			out[m.name+"_sum"] = m.h.Sum()

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request-tracing metrics.
+var (
+	mTraceSeen = NewCounter("countryrank_reqtrace_seen_total",
+		"requests that consulted the trace sampler")
+	mTraceSampled = NewCounter("countryrank_reqtrace_sampled_total",
+		"requests promoted to a full request trace")
+	mTraceActive = NewGauge("countryrank_reqtrace_active",
+		"sampled requests currently in flight")
+)
+
+// A ReqSpan is one sampled request's trace: a detached obs.Span carrying
+// timestamped events (parse, lookup, write…) plus the request facts the
+// /debug/requests inspector renders. Only sampled requests ever allocate
+// one; the unsampled path sees a nil pointer and pays a single sampler
+// decision.
+type ReqSpan struct {
+	span  *Span
+	start time.Time
+
+	// Written once by Finish, then only read under the tracker lock.
+	Route   string
+	Path    string
+	Status  int
+	Bytes   int64
+	Latency time.Duration
+	done    bool
+}
+
+// Event records a timestamped marker (e.g. "parse", "lookup", "write") on
+// the request's span. Nil-safe so handlers can call it unconditionally.
+func (r *ReqSpan) Event(name string) {
+	if r != nil {
+		r.span.Event(name)
+	}
+}
+
+// A ReqTracker retains sampled request traces for after-the-fact
+// inspection, net/trace-style: the set of active (in-flight) sampled
+// requests, a bounded most-recent ring per route, and a slowest-N exemplar
+// shelf per route so the request behind a p999 spike is still inspectable
+// long after it completed. /debug/requests serves Snapshot.
+type ReqTracker struct {
+	sampler *Sampler
+	trace   Trace // private span factory; never rendered into DefaultTrace
+
+	recentN int
+	slowN   int
+
+	mu     sync.Mutex
+	active map[*ReqSpan]struct{}
+	routes map[string]*routeShelf
+}
+
+// routeShelf is one route's retention: a ring of the most recent completed
+// traces (oldest evicted first) and the slowest-N shelf ordered
+// slowest-first (the fastest exemplar evicted when a slower one arrives).
+type routeShelf struct {
+	recent []*ReqSpan // ring; head is the next overwrite position
+	head   int
+	full   bool
+	slow   []*ReqSpan // sorted by Latency descending, len <= slowN
+}
+
+// NewReqTracker samples requests at rate with the given seed, retaining
+// per route the recentN most recent completed traces (default 64) and the
+// slowN slowest (default 8).
+func NewReqTracker(seed int64, rate float64, recentN, slowN int) *ReqTracker {
+	if recentN <= 0 {
+		recentN = 64
+	}
+	if slowN <= 0 {
+		slowN = 8
+	}
+	return &ReqTracker{
+		sampler: NewSampler(seed, rate),
+		recentN: recentN,
+		slowN:   slowN,
+		active:  map[*ReqSpan]struct{}{},
+		routes:  map[string]*routeShelf{},
+	}
+}
+
+// Start consults the sampler for the arriving request. It returns nil —
+// with zero allocations — unless the request is promoted, in which case
+// the returned ReqSpan is registered active and its span is running.
+func (t *ReqTracker) Start(path string) *ReqSpan {
+	mTraceSeen.Inc()
+	if !t.sampler.Sample() {
+		return nil
+	}
+	mTraceSampled.Inc()
+	r := &ReqSpan{Path: path, start: time.Now()}
+	r.span = t.trace.StartDetached("request")
+	t.mu.Lock()
+	t.active[r] = struct{}{}
+	mTraceActive.Set(int64(len(t.active)))
+	t.mu.Unlock()
+	return r
+}
+
+// Finish completes a sampled request: closes its span, moves it from the
+// active set into its route's recent ring, and offers it to the slowest-N
+// shelf. Nil-safe.
+func (t *ReqTracker) Finish(r *ReqSpan, route string, status int, bytes int64) {
+	if r == nil {
+		return
+	}
+	r.span.End()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r.Route, r.Status, r.Bytes = route, status, bytes
+	r.Latency = r.span.Duration()
+	r.done = true
+	delete(t.active, r)
+	mTraceActive.Set(int64(len(t.active)))
+
+	sh := t.routes[route]
+	if sh == nil {
+		sh = &routeShelf{recent: make([]*ReqSpan, 0, t.recentN)}
+		t.routes[route] = sh
+	}
+	if len(sh.recent) < t.recentN {
+		sh.recent = append(sh.recent, r)
+	} else {
+		sh.recent[sh.head] = r
+		sh.head = (sh.head + 1) % t.recentN
+		sh.full = true
+	}
+	// Insert into the slowest shelf (sorted descending); evict the fastest
+	// exemplar when over capacity.
+	i := len(sh.slow)
+	for i > 0 && sh.slow[i-1].Latency < r.Latency {
+		i--
+	}
+	if i < t.slowN {
+		sh.slow = append(sh.slow, nil)
+		copy(sh.slow[i+1:], sh.slow[i:])
+		sh.slow[i] = r
+		if len(sh.slow) > t.slowN {
+			sh.slow = sh.slow[:t.slowN]
+		}
+	}
+}
+
+// Seen returns how many requests consulted the sampler.
+func (t *ReqTracker) Seen() int64 { return t.sampler.Seen() }
+
+// Sampled returns how many requests were promoted to a trace.
+func (t *ReqTracker) Sampled() int64 { return t.sampler.Sampled() }
+
+// ReqSpanData is one trace in the /debug/requests JSON.
+type ReqSpanData struct {
+	Route     string         `json:"route,omitempty"`
+	Path      string         `json:"path"`
+	Start     string         `json:"start"`
+	Status    int            `json:"status,omitempty"`
+	Bytes     int64          `json:"bytes,omitempty"`
+	LatencyUS int64          `json:"latency_us"`
+	Open      bool           `json:"open,omitempty"`
+	Events    []ReqEventData `json:"events,omitempty"`
+}
+
+// ReqEventData is one span event with its offset into the request.
+type ReqEventData struct {
+	Name     string `json:"name"`
+	OffsetUS int64  `json:"offset_us"`
+}
+
+// RouteRequests is one route's retained traces.
+type RouteRequests struct {
+	Recent  []ReqSpanData `json:"recent"`
+	Slowest []ReqSpanData `json:"slowest"`
+}
+
+// RequestsData is the /debug/requests JSON shape.
+type RequestsData struct {
+	Seen    int64                    `json:"seen"`
+	Sampled int64                    `json:"sampled"`
+	Active  []ReqSpanData            `json:"active"`
+	Routes  map[string]RouteRequests `json:"routes"`
+}
+
+func (t *ReqTracker) render(r *ReqSpan) ReqSpanData {
+	d := ReqSpanData{
+		Route:  r.Route,
+		Path:   r.Path,
+		Start:  r.start.UTC().Format(time.RFC3339Nano),
+		Status: r.Status,
+		Bytes:  r.Bytes,
+		Open:   !r.done,
+	}
+	if r.done {
+		d.LatencyUS = r.Latency.Microseconds()
+	} else {
+		d.LatencyUS = time.Since(r.start).Microseconds()
+	}
+	for _, ev := range r.span.Events() {
+		d.Events = append(d.Events, ReqEventData{
+			Name:     ev.Name,
+			OffsetUS: ev.At.Sub(r.start).Microseconds(),
+		})
+	}
+	return d
+}
+
+// defaultRequests is the process-wide tracker /debug/requests serves.
+var defaultRequests atomic.Pointer[ReqTracker]
+
+// SetDefaultRequests installs (or, with nil, clears) the tracker served at
+// /debug/requests.
+func SetDefaultRequests(t *ReqTracker) { defaultRequests.Store(t) }
+
+// GetDefaultRequests returns the installed tracker, or nil.
+func GetDefaultRequests() *ReqTracker { return defaultRequests.Load() }
+
+// Snapshot copies the tracker state into its JSON report. Recent traces
+// come back oldest-first; the slowest shelf slowest-first.
+func (t *ReqTracker) Snapshot() RequestsData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := RequestsData{
+		Seen:    t.sampler.Seen(),
+		Sampled: t.sampler.Sampled(),
+		Active:  []ReqSpanData{},
+		Routes:  map[string]RouteRequests{},
+	}
+	for r := range t.active {
+		d.Active = append(d.Active, t.render(r))
+	}
+	for route, sh := range t.routes {
+		rr := RouteRequests{Recent: []ReqSpanData{}, Slowest: []ReqSpanData{}}
+		if sh.full {
+			for i := 0; i < len(sh.recent); i++ {
+				rr.Recent = append(rr.Recent, t.render(sh.recent[(sh.head+i)%len(sh.recent)]))
+			}
+		} else {
+			for _, r := range sh.recent {
+				rr.Recent = append(rr.Recent, t.render(r))
+			}
+		}
+		for _, r := range sh.slow {
+			rr.Slowest = append(rr.Slowest, t.render(r))
+		}
+		d.Routes[route] = rr
+	}
+	return d
+}

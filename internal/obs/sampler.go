@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// A Sampler makes deterministic, rate-configurable sampling decisions for
+// request tracing. Each arrival claims the next sequence number with one
+// atomic add and the decision for a given sequence number is a pure
+// function of (seed, rate, sequence): a splitmix64 hash of the sequence
+// compared against a fixed threshold. The *set* of sampled sequence
+// numbers is therefore identical at any GOMAXPROCS or interleaving — only
+// which goroutine draws which number varies — and a replay with the same
+// seed samples the same arrivals. The decision path performs no
+// allocation and takes no locks.
+type Sampler struct {
+	seed      uint64
+	threshold uint64 // decision boundary mapped onto [0, 2^64)
+	always    bool   // rate >= 1
+	seq       atomic.Uint64
+	sampled   atomic.Int64
+}
+
+// NewSampler builds a sampler that promotes approximately rate (in [0, 1])
+// of arrivals. Rates at or above 1 sample everything; rates at or below 0
+// sample nothing.
+func NewSampler(seed int64, rate float64) *Sampler {
+	s := &Sampler{seed: uint64(seed)}
+	switch {
+	case rate >= 1:
+		s.always = true
+	case rate > 0:
+		s.threshold = uint64(rate * math.MaxUint64)
+	}
+	return s
+}
+
+// Sample claims the next arrival's sequence number and returns its
+// decision.
+func (s *Sampler) Sample() bool {
+	i := s.seq.Add(1) - 1
+	if !s.Decide(i) {
+		return false
+	}
+	s.sampled.Add(1)
+	return true
+}
+
+// Decide reports the (pure, replayable) decision for sequence number i.
+func (s *Sampler) Decide(i uint64) bool {
+	if s.always {
+		return true
+	}
+	if s.threshold == 0 {
+		return false
+	}
+	return splitmix64(s.seed+i*0x9e3779b97f4a7c15) < s.threshold
+}
+
+// Seen returns how many arrivals have claimed a decision.
+func (s *Sampler) Seen() int64 { return int64(s.seq.Load()) }
+
+// Sampled returns how many arrivals were promoted.
+func (s *Sampler) Sampled() int64 { return s.sampled.Load() }
+
+// splitmix64 is the finalizer of the splitmix64 generator: a bijective
+// avalanche mix, so distinct inputs spread uniformly over uint64.
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestSamplerRateEdges(t *testing.T) {
+	always := NewSampler(1, 1)
+	never := NewSampler(1, 0)
+	for i := 0; i < 100; i++ {
+		if !always.Sample() {
+			t.Fatal("rate 1 declined an arrival")
+		}
+		if never.Sample() {
+			t.Fatal("rate 0 promoted an arrival")
+		}
+	}
+	if always.Seen() != 100 || always.Sampled() != 100 {
+		t.Errorf("always: seen %d sampled %d", always.Seen(), always.Sampled())
+	}
+	if never.Seen() != 100 || never.Sampled() != 0 {
+		t.Errorf("never: seen %d sampled %d", never.Seen(), never.Sampled())
+	}
+}
+
+func TestSamplerRateApproximation(t *testing.T) {
+	const n = 100000
+	s := NewSampler(42, 0.2)
+	hits := 0
+	for i := uint64(0); i < n; i++ {
+		if s.Decide(i) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.18 || got > 0.22 {
+		t.Errorf("rate 0.2 sampled %.4f of %d arrivals", got, n)
+	}
+}
+
+// TestSamplerDeterministicAcrossGOMAXPROCS pins the core property: the set
+// of sampled sequence numbers is a pure function of (seed, rate). Hammering
+// Sample from many goroutines must promote exactly the arrivals a serial
+// replay of Decide promotes, regardless of scheduling.
+func TestSamplerDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	const n = 20000
+	for _, procs := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		s := NewSampler(7, 0.1)
+		var wg sync.WaitGroup
+		per := n / procs
+		for g := 0; g < procs; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					s.Sample()
+				}
+			}()
+		}
+		wg.Wait()
+
+		want := int64(0)
+		replay := NewSampler(7, 0.1)
+		for i := uint64(0); i < uint64(procs*per); i++ {
+			if replay.Decide(i) {
+				want++
+			}
+		}
+		if s.Sampled() != want {
+			t.Errorf("procs=%d: sampled %d, serial replay says %d", procs, s.Sampled(), want)
+		}
+		if s.Seen() != int64(procs*per) {
+			t.Errorf("procs=%d: seen %d, want %d", procs, s.Seen(), procs*per)
+		}
+	}
+}
+
+// TestSamplerReplay checks two samplers with the same seed and rate make
+// identical decisions arrival by arrival.
+func TestSamplerReplay(t *testing.T) {
+	a := NewSampler(99, 0.33)
+	b := NewSampler(99, 0.33)
+	diff := NewSampler(100, 0.33)
+	same := true
+	for i := uint64(0); i < 10000; i++ {
+		if a.Decide(i) != b.Decide(i) {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+		if a.Decide(i) != diff.Decide(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical 10k-decision sequence")
+	}
+}

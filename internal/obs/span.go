@@ -93,6 +93,20 @@ func (t *Trace) Start(name string) *Span {
 // StartSpan opens a span in the DefaultTrace.
 func StartSpan(name string) *Span { return DefaultTrace.Start(name) }
 
+// StartDetached opens a span that records against t (IDs, attrs, events,
+// End) but is not linked into the trace's root list or current-pointer
+// nesting. Detached spans are for high-churn per-request tracing: they are
+// reclaimed by the GC as soon as the caller drops them, so a long-running
+// server does not accumulate an unbounded span tree.
+func (t *Trace) StartDetached(name string) *Span {
+	s := &Span{Name: name, trace: t, start: time.Now()}
+	t.mu.Lock()
+	t.nextID++
+	s.id = t.nextID
+	t.mu.Unlock()
+	return s
+}
+
 // Child opens a nested span under s without moving the trace's current
 // pointer, which makes it safe to call from fan-out goroutines.
 func (s *Span) Child(name string) *Span {

@@ -97,6 +97,13 @@ func (t *Timeline) Stop() {
 }
 
 func (t *Timeline) sample() {
+	// The tick is the scrape cadence for pull-refreshed series: runtime
+	// self-metrics and SLO burn gauges update here so a -timeline run can
+	// replay req/s alongside burn rate and the daemon's own health.
+	RefreshRuntimeMetrics()
+	if s := GetDefaultSLO(); s != nil {
+		s.refreshMetrics()
+	}
 	snap := t.reg.Snapshot()
 	t.mu.Lock()
 	defer t.mu.Unlock()

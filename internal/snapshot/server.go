@@ -75,6 +75,40 @@ var (
 	hdrCacheControl = []string{"public, max-age=15, stale-while-revalidate=60"}
 )
 
+// routeClass labels the endpoint a request resolved to, for wide events
+// and per-route trace retention.
+type routeClass uint8
+
+const (
+	routeOther routeClass = iota
+	routeCountry
+	routeTop
+	routeIndex
+)
+
+var routeNames = [...]string{"other", "country", "top", "snapshot"}
+
+// Instrumentation is the handler's optional request-scoped observability:
+// every field nil (or zero) is off and costs one branch per request. The
+// populated hooks are designed so the unsampled hot path stays at exactly
+// zero allocations — the access-log producer copies a value struct into a
+// lock-free ring, the tracker answers nil without allocating when the
+// sampler declines, and SLO accounting is plain atomic adds.
+type Instrumentation struct {
+	// Log receives one wide AccessEvent per request.
+	Log *obs.AccessLog
+	// Requests promotes a sampled subset of requests to full traces
+	// served at /debug/requests.
+	Requests *obs.ReqTracker
+	// SLO accounts every response against availability/latency objectives.
+	SLO *obs.SLO
+	// SlowProbe, when positive, sleeps this long before serving any
+	// request whose query carries probe=slow — a latency-injection hook
+	// for SLO drills (CI drives /healthz to degraded with it). Leave zero
+	// in production.
+	SlowProbe time.Duration
+}
+
 // Handler serves the snapshot API:
 //
 //	GET /v1/countries/{cc}     one country's CCI/CCN/AHI/AHN page
@@ -83,15 +117,22 @@ var (
 //
 // Every 200 carries a strong ETag (content SHA-256), Content-Length, and
 // Cache-Control; If-None-Match revalidation answers 304 with no body. The
-// 200 and 304 paths perform zero allocations and zero encoding per request:
-// the handler resolves a preserialized entity, assigns precomputed header
-// slices, and writes stored bytes.
+// 200 and 304 paths perform zero allocations and zero encoding per request
+// — with access logging, SLO accounting, and metrics enabled, as long as
+// trace sampling declines the request: the handler resolves a
+// preserialized entity, assigns precomputed header slices, and writes
+// stored bytes.
 type Handler struct {
 	store *Store
+	ins   Instrumentation
 }
 
-// NewHandler serves from st.
+// NewHandler serves from st with instrumentation off.
 func NewHandler(st *Store) *Handler { return &Handler{store: st} }
+
+// Instrument installs the handler's observability hooks. Call before the
+// handler starts serving; the fields are read concurrently afterwards.
+func (h *Handler) Instrument(ins Instrumentation) { h.ins = ins }
 
 const (
 	prefixCountries = "/v1/countries/"
@@ -99,21 +140,74 @@ const (
 	pathIndex       = "/v1/snapshot"
 )
 
+// reqResult carries what the serving core resolved, for the wide event and
+// trace finishing in ServeHTTP. Returned by value: no allocation.
+type reqResult struct {
+	route   routeClass
+	target  string // country code or top metric path segment
+	n       int    // resolved top-N (0 when n/a)
+	status  int
+	bytes   int
+	etagHit bool
+}
+
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	mRequests.Inc()
+	var rs *obs.ReqSpan
+	if h.ins.Requests != nil {
+		rs = h.ins.Requests.Start(r.URL.Path)
+	}
+	if h.ins.SlowProbe > 0 && strings.Contains(r.URL.RawQuery, "probe=slow") {
+		time.Sleep(h.ins.SlowProbe)
+	}
+	snap := h.store.Load()
+	res := h.serve(w, r, snap, rs, start)
+	lat := time.Since(start)
+	if h.ins.SLO != nil {
+		h.ins.SLO.Record(res.status, lat, res.status == http.StatusNotModified)
+	}
+	if rs != nil {
+		h.ins.Requests.Finish(rs, routeNames[res.route], res.status, int64(res.bytes))
+	}
+	if h.ins.Log != nil {
+		ev := obs.AccessEvent{
+			Start:   start,
+			Route:   routeNames[res.route],
+			Target:  res.target,
+			N:       int32(res.n),
+			Status:  int32(res.status),
+			Bytes:   int64(res.bytes),
+			Latency: lat,
+			ETagHit: res.etagHit,
+			Sampled: rs != nil,
+			Client:  r.RemoteAddr,
+		}
+		if snap != nil {
+			ev.Epoch, ev.Digest = snap.Epoch, snap.Digest
+		}
+		h.ins.Log.Record(ev)
+	}
+}
+
+// serve is the zero-alloc serving core; ServeHTTP wraps it with the
+// request-scoped observability.
+func (h *Handler) serve(w http.ResponseWriter, r *http.Request, snap *Snapshot, rs *obs.ReqSpan, start time.Time) reqResult {
+	res := reqResult{}
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		mMisses.Inc()
 		w.Header().Set("Allow", "GET, HEAD")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
+		res.status = http.StatusMethodNotAllowed
+		return res
 	}
-	snap := h.store.Load()
 	if snap == nil {
 		mMisses.Inc()
 		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
-		return
+		res.status = http.StatusServiceUnavailable
+		return res
 	}
+	rs.Event("parse")
 
 	var (
 		e   *entity
@@ -123,22 +217,30 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case path == pathIndex:
 		e, lat = snap.index, mLatIndex
+		res.route = routeIndex
 	case len(path) > len(prefixCountries) && path[:len(prefixCountries)] == prefixCountries:
-		e, lat = snap.country(path[len(prefixCountries):]), mLatCountry
+		res.route = routeCountry
+		res.target = path[len(prefixCountries):]
+		e, lat = snap.country(res.target), mLatCountry
 	case len(path) > len(prefixTop) && path[:len(prefixTop)] == prefixTop:
+		res.route = routeTop
+		res.target = path[len(prefixTop):]
 		var ok bool
-		e, ok = snap.top(path[len(prefixTop):], r.URL.RawQuery)
+		e, res.n, ok = snap.top(res.target, r.URL.RawQuery)
 		if !ok {
 			mMisses.Inc()
 			http.Error(w, "bad n parameter", http.StatusBadRequest)
-			return
+			res.status = http.StatusBadRequest
+			return res
 		}
 		lat = mLatTop
 	}
+	rs.Event("lookup")
 	if e == nil {
 		mMisses.Inc()
 		http.NotFound(w, r)
-		return
+		res.status = http.StatusNotFound
+		return res
 	}
 
 	hdr := w.Header()
@@ -148,7 +250,9 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNotModified)
 		mServed304.Inc()
 		lat.Observe(time.Since(start))
-		return
+		res.status = http.StatusNotModified
+		res.etagHit = true
+		return res
 	}
 	hdr["Content-Type"] = hdrContentType
 	hdr["Content-Length"] = e.lenHdr
@@ -158,9 +262,13 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// connection machinery copies into its own buffered writer.
 		_, _ = w.Write(e.body)
 		mBodyBytes.Add(int64(len(e.body)))
+		res.bytes = len(e.body)
 	}
+	rs.Event("write")
 	mServed200.Inc()
 	lat.Observe(time.Since(start))
+	res.status = http.StatusOK
+	return res
 }
 
 // country resolves a country page. The code is ASCII-uppercased into a
@@ -185,17 +293,18 @@ func (s *Snapshot) country(cc string) *entity {
 }
 
 // top resolves a top-N variant from the metric path segment and the raw
-// query. ok is false only for an unparseable or non-positive n; an unknown
-// metric returns (nil, true) so the caller 404s.
-func (s *Snapshot) top(metric, rawQuery string) (e *entity, ok bool) {
+// query, reporting the clamped n actually served. ok is false only for an
+// unparseable or non-positive n; an unknown metric returns (nil, 0, true)
+// so the caller 404s.
+func (s *Snapshot) top(metric, rawQuery string) (e *entity, n int, ok bool) {
 	var buf [16]byte
 	if len(metric) == 0 || len(metric) > len(buf) {
-		return nil, true
+		return nil, 0, true
 	}
 	for i := 0; i < len(metric); i++ {
 		c := metric[i]
 		if c == '/' {
-			return nil, true
+			return nil, 0, true
 		}
 		if c >= 'A' && c <= 'Z' {
 			c += 'a' - 'A'
@@ -204,11 +313,11 @@ func (s *Snapshot) top(metric, rawQuery string) (e *entity, ok bool) {
 	}
 	variants := s.tops[string(buf[:len(metric)])]
 	if variants == nil {
-		return nil, true
+		return nil, 0, true
 	}
-	n, ok := queryN(rawQuery, 10)
+	n, ok = queryN(rawQuery, 10)
 	if !ok || n <= 0 {
-		return nil, false
+		return nil, 0, false
 	}
 	if n > s.maxTopN {
 		n = s.maxTopN // cap, don't reject: CDN-friendly clamping
@@ -216,7 +325,7 @@ func (s *Snapshot) top(metric, rawQuery string) (e *entity, ok bool) {
 	if n > len(variants) {
 		n = len(variants) // fewer ranked ASes than requested
 	}
-	return variants[n-1], true
+	return variants[n-1], n, true
 }
 
 // queryN extracts the n parameter from a raw (unescaped) query string

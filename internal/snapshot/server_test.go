@@ -1,12 +1,19 @@
 package snapshot
 
 import (
+	"context"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"countryrank/internal/obs"
 )
 
 func testSnapshot(t *testing.T) *Snapshot {
@@ -174,6 +181,167 @@ func TestHandlerHead(t *testing.T) {
 	}
 }
 
+// collectHandler is a slog.Handler that retains records for assertions.
+type collectHandler struct {
+	mu      sync.Mutex
+	records []map[string]any
+}
+
+func (c *collectHandler) Enabled(context.Context, slog.Level) bool { return true }
+func (c *collectHandler) WithAttrs([]slog.Attr) slog.Handler       { return c }
+func (c *collectHandler) WithGroup(string) slog.Handler            { return c }
+func (c *collectHandler) Handle(_ context.Context, r slog.Record) error {
+	m := map[string]any{}
+	r.Attrs(func(a slog.Attr) bool { m[a.Key] = a.Value.Any(); return true })
+	c.mu.Lock()
+	c.records = append(c.records, m)
+	c.mu.Unlock()
+	return nil
+}
+
+// TestInstrumentedWideEvents drives the handler with every hook installed
+// and checks the wide events carry the request facts an operator needs:
+// route class, target, status, ETag hit/miss, snapshot epoch+digest, and
+// bytes.
+func TestInstrumentedWideEvents(t *testing.T) {
+	s := testSnapshot(t)
+	h := NewHandler(NewStore(s))
+	col := &collectHandler{}
+	log := obs.NewAccessLog(slog.New(col), obs.AccessLogConfig{SampleOK: 1}).Start()
+	h.Instrument(Instrumentation{
+		Log:      log,
+		Requests: obs.NewReqTracker(7, 1, 0, 0), // sample everything
+		SLO:      obs.NewSLO(obs.SLOConfig{Availability: 0.99, LatencyTarget: 0.99, LatencyThreshold: time.Hour}),
+	})
+
+	get(t, h, "/v1/countries/AU", nil)
+	get(t, h, "/v1/countries/AU", map[string]string{"If-None-Match": s.CountryETag("AU")})
+	get(t, h, "/v1/top/ccg?n=2", nil)
+	get(t, h, "/v1/countries/ZZ", nil) // 404: must be logged even unsampled
+	log.Close()
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if len(col.records) != 4 {
+		t.Fatalf("access log emitted %d records, want 4", len(col.records))
+	}
+	want := []struct {
+		route, target, etag string
+		status, bytes       int64
+	}{
+		{"country", "AU", "miss", 200, int64(len(s.CountryBody("AU")))},
+		{"country", "AU", "hit", 304, 0},
+		{"top", "ccg", "miss", 200, int64(len(s.tops["ccg"][1].body))},
+		{"country", "ZZ", "miss", 404, 0},
+	}
+	for i, w := range want {
+		rec := col.records[i]
+		if rec["route"] != w.route || rec["target"] != w.target || rec["etag"] != w.etag {
+			t.Errorf("event %d: route/target/etag = %v/%v/%v, want %v/%v/%v",
+				i, rec["route"], rec["target"], rec["etag"], w.route, w.target, w.etag)
+		}
+		if rec["status"] != w.status || rec["bytes"] != w.bytes {
+			t.Errorf("event %d: status/bytes = %v/%v, want %d/%d", i, rec["status"], rec["bytes"], w.status, w.bytes)
+		}
+		if rec["epoch"] != int64(1) || rec["digest"] != s.Digest {
+			t.Errorf("event %d: epoch/digest = %v/%v", i, rec["epoch"], rec["digest"])
+		}
+		if rec["sampled"] != true {
+			t.Errorf("event %d: sampled = %v, want true (rate-1 tracker)", i, rec["sampled"])
+		}
+	}
+}
+
+// TestInstrumentedRequestTraces checks sampled requests land in the
+// tracker with route, status, and the parse/lookup/write event sequence.
+func TestInstrumentedRequestTraces(t *testing.T) {
+	s := testSnapshot(t)
+	h := NewHandler(NewStore(s))
+	tracker := obs.NewReqTracker(7, 1, 8, 4)
+	h.Instrument(Instrumentation{Requests: tracker})
+
+	get(t, h, "/v1/countries/AU", nil)
+	get(t, h, "/v1/top/ccg?n=2", nil)
+
+	snap := tracker.Snapshot()
+	if snap.Seen != 2 || snap.Sampled != 2 {
+		t.Fatalf("tracker saw %d sampled %d, want 2/2", snap.Seen, snap.Sampled)
+	}
+	if len(snap.Active) != 0 {
+		t.Errorf("%d traces still active after completion", len(snap.Active))
+	}
+	country := snap.Routes["country"]
+	if len(country.Recent) != 1 || country.Recent[0].Status != 200 || country.Recent[0].Path != "/v1/countries/AU" {
+		t.Fatalf("country recent = %+v", country.Recent)
+	}
+	var names []string
+	for _, ev := range country.Recent[0].Events {
+		names = append(names, ev.Name)
+	}
+	if strings.Join(names, ",") != "parse,lookup,write" {
+		t.Errorf("trace events = %v, want parse,lookup,write", names)
+	}
+	if len(country.Slowest) != 1 {
+		t.Errorf("slowest shelf holds %d, want 1", len(country.Slowest))
+	}
+}
+
+// TestInstrumentedSLOAccounting checks the handler feeds the SLO engine:
+// 304s excluded from the latency population, 404s not counted as errors,
+// and the request totals matching traffic.
+func TestInstrumentedSLOAccounting(t *testing.T) {
+	s := testSnapshot(t)
+	h := NewHandler(NewStore(s))
+	now := time.Unix(1000, 0)
+	slo := obs.NewSLO(obs.SLOConfig{
+		Availability: 0.99, LatencyTarget: 0.99, LatencyThreshold: time.Hour,
+		Bucket: time.Second, FastWindow: 10 * time.Second, SlowWindow: 20 * time.Second,
+		Clock: func() time.Time { return now },
+	})
+	h.Instrument(Instrumentation{SLO: slo})
+
+	get(t, h, "/v1/countries/AU", nil)
+	get(t, h, "/v1/countries/AU", map[string]string{"If-None-Match": s.CountryETag("AU")})
+	get(t, h, "/v1/countries/ZZ", nil)
+
+	st := slo.Status()
+	if len(st.Objectives) != 2 {
+		t.Fatalf("objectives = %d, want 2", len(st.Objectives))
+	}
+	avail, lat := st.Objectives[0], st.Objectives[1]
+	if avail.Fast.Total != 3 || avail.Fast.Bad != 0 {
+		t.Errorf("availability fast = %+v, want 3 total 0 bad (404 is not a 5xx)", avail.Fast)
+	}
+	if lat.Fast.Total != 2 || lat.Fast.Bad != 0 {
+		t.Errorf("latency fast = %+v, want 2 total (304 excluded) 0 bad", lat.Fast)
+	}
+}
+
+// TestSlowProbe checks the CI latency-injection hook only fires on tagged
+// requests.
+func TestSlowProbe(t *testing.T) {
+	s := testSnapshot(t)
+	h := NewHandler(NewStore(s))
+	h.Instrument(Instrumentation{SlowProbe: 30 * time.Millisecond})
+
+	start := time.Now()
+	w := get(t, h, "/v1/countries/AU", nil)
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Errorf("untagged request took %v with slow probe armed", d)
+	}
+	if w.Code != http.StatusOK {
+		t.Fatalf("untagged = %d", w.Code)
+	}
+	start = time.Now()
+	w = get(t, h, "/v1/snapshot?probe=slow", nil)
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("tagged request took only %v, want >= 30ms", d)
+	}
+	if w.Code != http.StatusOK {
+		t.Fatalf("tagged = %d", w.Code)
+	}
+}
+
 func TestStoreSwap(t *testing.T) {
 	a := Assemble(testData(1), Config{})
 	b := Assemble(testData(2), Config{})
@@ -206,11 +374,28 @@ func (w *nopWriter) Write(p []byte) (int, error) {
 }
 
 // TestServeZeroAllocs pins the tentpole property: the 200 and 304 paths of
-// every endpoint perform zero heap allocations per request. If this fails,
-// the serving hot path regressed — don't loosen the pin, find the alloc.
+// every endpoint perform zero heap allocations per request — with access
+// logging, SLO accounting, and serving metrics all enabled, and trace
+// sampling consulted but declining (rate 0). If this fails, the serving
+// hot path regressed — don't loosen the pin, find the alloc.
+//
+// The access log is deliberately not Started: AllocsPerRun counts mallocs
+// process-wide, so a concurrent drainer goroutine emitting slog records
+// would pollute the measurement. The producer path — policy decision,
+// ring claim, struct copy, and the drop path once the ring fills — runs
+// in full.
 func TestServeZeroAllocs(t *testing.T) {
 	s := testSnapshot(t)
 	h := NewHandler(NewStore(s))
+	log := obs.NewAccessLog(
+		slog.New(slog.NewJSONHandler(io.Discard, nil)),
+		obs.AccessLogConfig{Capacity: 64, SampleOK: 1, SlowAfter: time.Hour},
+	)
+	h.Instrument(Instrumentation{
+		Log:      log,
+		Requests: obs.NewReqTracker(1, 0, 0, 0), // sampling off
+		SLO:      obs.NewSLO(obs.SLOConfig{Availability: 0.999, LatencyTarget: 0.999, LatencyThreshold: 5 * time.Millisecond}),
+	})
 
 	cases := []struct {
 		name string

@@ -143,7 +143,10 @@ go build -o "$rankd_dir/rankd" ./cmd/rankd
 go build -o "$rankd_dir/loadgen" ./cmd/loadgen
 go build -o "$rankd_dir/bench" ./cmd/bench
 "$rankd_dir/rankd" -addr "127.0.0.1:$rankd_port" -scale 0.15 -vpscale 0.2 \
-    -topn 10 -manifest "$rankd_dir/manifest.json" >"$rankd_dir/rankd.log" 2>&1 &
+    -topn 10 -manifest "$rankd_dir/manifest.json" \
+    -access-log "$rankd_dir/access.log" -trace-sample 0.2 -timeline 500ms \
+    -slo 'availability=99,latency=99@50ms,bucket=1s,fast=5s,slow=30s,trip=2' \
+    -slow-probe 100ms >"$rankd_dir/rankd.log" 2>&1 &
 rankd_pid=$!
 trap 'kill "$obs_pid" "$rankd_pid" 2>/dev/null || true; rm -rf "$obs_dir" "$rankd_dir"' EXIT
 rankd_base="http://127.0.0.1:$rankd_port"
@@ -198,13 +201,83 @@ fi
 # A short load run, gated against the committed serving baseline. The
 # tolerance is deliberately loose: CI hosts differ wildly in single-request
 # latency, so this catches order-of-magnitude regressions and wiring rot,
-# while the committed baseline documents real measured numbers.
-"$rankd_dir/loadgen" -url "$rankd_base" -duration 2s -conc 4 -n 10 \
-    -out "$rankd_dir/serving.json"
-serving_baseline=$(ls BENCH_*_serving.json | tail -1)
+# while the committed baseline documents real measured numbers. Loadgen runs
+# in the background so the request inspector and SLO report can be scraped
+# while traffic is actually flowing.
+"$rankd_dir/loadgen" -url "$rankd_base" -duration 3s -conc 4 -n 10 \
+    -max-error-rate 0 -out "$rankd_dir/serving.json" >"$rankd_dir/loadgen.out" 2>&1 &
+loadgen_pid=$!
+sleep 1
+# Mid-run: the deterministic sampler must have promoted traces by now, and
+# the SLO engine must be reporting burn over live windows.
+curl -fsS "$rankd_base/debug/requests" >"$rankd_dir/requests.json"
+grep -q '"sampled":' "$rankd_dir/requests.json"
+sampled=$(sed -n 's/.*"sampled":\([0-9]*\).*/\1/p' "$rankd_dir/requests.json")
+if [[ -z "$sampled" || "$sampled" -eq 0 ]]; then
+    echo "no sampled request traces at /debug/requests:" >&2
+    head -c 500 "$rankd_dir/requests.json" >&2
+    exit 1
+fi
+grep -q '"events":\[{"name":"parse"' "$rankd_dir/requests.json"
+curl -fsS "$rankd_base/debug/slo" >"$rankd_dir/slo.json"
+grep -q '"burn":' "$rankd_dir/slo.json"
+grep -q '"name":"availability"' "$rankd_dir/slo.json"
+grep -q '"name":"latency"' "$rankd_dir/slo.json"
+if ! wait "$loadgen_pid"; then
+    echo "loadgen failed:" >&2
+    cat "$rankd_dir/loadgen.out" >&2
+    exit 1
+fi
+cat "$rankd_dir/loadgen.out"
+
+# The wide-event access log was written by the drainer, one JSON record per
+# request with the route class and snapshot provenance attached.
+[[ -s "$rankd_dir/access.log" ]]
+grep -q '"route":"country"' "$rankd_dir/access.log"
+grep -q '"digest":' "$rankd_dir/access.log"
+
+# The observability series all moved: runtime self-metrics, SLO accounting,
+# access-log pipeline, and the trace sampler.
+curl -fsS "$rankd_base/metrics" >"$obs_metrics"
+require_nonzero countryrank_go_goroutines
+require_nonzero countryrank_go_heap_alloc_bytes
+require_nonzero countryrank_slo_requests_total
+require_nonzero countryrank_accesslog_events_total
+require_nonzero countryrank_reqtrace_sampled_total
+# The timeline sampler replays the serving series alongside burn rates.
+curl -fsS "$rankd_base/debug/timeline" >"$rankd_dir/timeline.json"
+grep -q countryrank_rankd_requests_total "$rankd_dir/timeline.json"
+grep -q countryrank_slo_latency_fast_burn "$rankd_dir/timeline.json"
+
+serving_baseline=$(ls BENCH_*_serving*.json | tail -1)
 "$rankd_dir/bench" -input "$rankd_dir/serving.json" \
     -baseline "$serving_baseline" -tolerance 25
+
+echo '--- rankd SLO degrade-and-recover (induced latency)'
+# Let the loadgen traffic age out of the 5s fast window, then hammer the
+# slow-probe hook: every probe=slow request sleeps 100ms server-side,
+# breaching the 50ms objective, so the fast burn trips and /healthz reports
+# degraded. Silence (plus window aging) must then recover it with no
+# restart.
+sleep 6
+curl -fsS "$rankd_base/healthz" | grep -q '^ok'
+for _ in $(seq 1 20); do
+    curl -fsS "$rankd_base/v1/countries/$cc?probe=slow" >/dev/null
+done
+code=$(curl -s -o /dev/null -w '%{http_code}' "$rankd_base/healthz")
+if [[ "$code" != 503 ]]; then
+    echo "healthz = $code after latency injection, want 503 degraded" >&2
+    curl -s "$rankd_base/debug/slo" >&2
+    exit 1
+fi
+curl -s "$rankd_base/healthz" | grep -q 'degraded: latency fast burn'
+sleep 7
+curl -fsS "$rankd_base/healthz" | grep -q '^ok'
+
 kill "$rankd_pid" 2>/dev/null || true
 wait "$rankd_pid" 2>/dev/null || true
+# The shutdown manifest rewrite recorded the final burn state.
+grep -q '"slo_config"' "$rankd_dir/manifest.json"
+grep -q '"slo_latency_fast_burn"' "$rankd_dir/manifest.json"
 
 echo 'CI OK'
