@@ -14,7 +14,10 @@
 // guard test pins).
 //
 // Non-2xx/non-304 responses and transport failures are counted per class
-// and reported in the snapshot; when the server runs with -slo and the
+// and reported in the snapshot. A `503 + Retry-After` — the server's
+// admission gate shedding load by design — is its own class (ServeShed),
+// counted toward req/s and reported as shed_rate but never toward
+// -max-error-rate; when the server runs with -slo and the
 // access-log/trace hooks, the post-run scrape of /debug/slo and the
 // countryrank expvar bridge records burn rates and observability overhead
 // (events logged/dropped, traces sampled) alongside the latency numbers.
@@ -55,11 +58,17 @@ const (
 	clTop200
 	clTop304
 	clSnapshot
+	// clShed is a 503 + Retry-After from the server's admission gate: the
+	// server refusing work by design, not failing at it. Shed responses are
+	// their own population — counted toward req/s and reported as a rate,
+	// but never toward the error budget, so -max-error-rate doesn't fail a
+	// run where shedding worked exactly as intended.
+	clShed
 	numClasses
 )
 
 var classNames = [numClasses]string{
-	"ServeCountry", "ServeCountry304", "ServeTop", "ServeTop304", "ServeSnapshotMeta",
+	"ServeCountry", "ServeCountry304", "ServeTop", "ServeTop304", "ServeSnapshotMeta", "ServeShed",
 }
 
 // sample is one timed request.
@@ -129,6 +138,16 @@ func (w *worker) run(deadline time.Time) {
 			} else {
 				cl = clTop304
 			}
+		case http.StatusServiceUnavailable:
+			if resp.Header.Get("Retry-After") == "" {
+				// A bare 503 (no snapshot, SLO-degraded healthz dependency)
+				// is a real failure; only the admission gate's designed
+				// refusal carries Retry-After.
+				w.errs = append(w.errs, fmt.Sprintf("%s: status %d", url, resp.StatusCode))
+				w.errN[cl]++
+				continue
+			}
+			cl = clShed
 		default:
 			w.errs = append(w.errs, fmt.Sprintf("%s: status %d", url, resp.StatusCode))
 			w.errN[cl]++
@@ -224,6 +243,13 @@ func main() {
 	}
 	errTotal := int64(len(errs))
 	errRate := float64(errTotal) / float64(int64(len(all))+errTotal)
+	var shedTotal int64
+	for _, s := range all {
+		if s.cl == clShed {
+			shedTotal++
+		}
+	}
+	shedRate := float64(shedTotal) / float64(int64(len(all))+errTotal)
 	fmt.Printf("%-20s %8s %8s %10s %10s %10s\n", "class", "count", "errors", "p50", "p99", "p999")
 	addResult := func(name string, ns []int64, errN int64, withRate bool) {
 		if len(ns) == 0 {
@@ -241,6 +267,7 @@ func main() {
 		if withRate {
 			r.Extra["req_per_s"] = reqPerS
 			r.Extra["error_rate"] = errRate
+			r.Extra["shed_rate"] = shedRate
 			r.AllocsOp = allocsPerReq
 			// Fold the server's own view of the run in: burn rates from
 			// /debug/slo and the observability pipeline's overhead counters,
@@ -259,8 +286,8 @@ func main() {
 		addResult(classNames[cl], byClass[cl], errByClass[cl], false)
 	}
 	addResult("ServeAll", overall, errTotal, true)
-	fmt.Printf("total %d requests in %s = %.0f req/s, %.1f server allocs/request, %d errors (rate %.4f)\n",
-		len(all), elapsed.Round(time.Millisecond), reqPerS, allocsPerReq, errTotal, errRate)
+	fmt.Printf("total %d requests in %s = %.0f req/s, %.1f server allocs/request, %d shed (rate %.4f), %d errors (rate %.4f)\n",
+		len(all), elapsed.Round(time.Millisecond), reqPerS, allocsPerReq, shedTotal, shedRate, errTotal, errRate)
 
 	path := *out
 	if path == "" {
@@ -360,6 +387,7 @@ func scrapeServerObs(base string, client *http.Client) map[string]float64 {
 				"countryrank_accesslog_events_total":  "accesslog_events",
 				"countryrank_accesslog_dropped_total": "accesslog_dropped",
 				"countryrank_reqtrace_sampled_total":  "traces_sampled",
+				"countryrank_rankd_shed_total":        "server_shed",
 			} {
 				if v, ok := vars.Countryrank[src]; ok && v > 0 {
 					out[dst] = v

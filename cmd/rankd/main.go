@@ -5,31 +5,63 @@
 //
 //	GET /v1/countries/{cc}     one country's four rankings
 //	GET /v1/top/{metric}?n=N   global top-N (ccg, ahg)
-//	GET /v1/snapshot           snapshot metadata (epoch, content digest)
+//	GET /v1/snapshot           snapshot metadata (epoch, content digest,
+//	                           stale/degraded markers)
 //
-// plus the shared debug surface (/metrics, /healthz, /debug/...) on the
-// same listener. Responses carry strong ETags and Cache-Control; the 200
-// and 304 paths do zero allocation and zero encoding per request — with
-// access logging, SLO accounting, and metrics enabled.
+// plus the shared debug surface (/metrics, /healthz, /readyz, /debug/...)
+// on the same listener. Responses carry strong ETags and Cache-Control; the
+// 200 and 304 paths do zero allocation and zero encoding per request —
+// with access logging, SLO accounting, metrics, and admission control
+// enabled.
 //
-// SIGHUP — or -refresh at an interval — recomputes the pipeline and
-// publishes a new snapshot with an atomic pointer swap; requests in flight
-// finish on the snapshot they loaded. SIGINT/SIGTERM drain gracefully.
+// The snapshot lifecycle is crash-safe. Builds run under a supervisor
+// (internal/snapshot.Supervisor): a build that panics, errors, or hangs
+// never interrupts serving — the last good snapshot stays published while
+// failed builds retry with jittered exponential backoff, and SIGHUP/ticker
+// triggers arriving mid-build coalesce. With -snapshot-dir, every published
+// snapshot is durably persisted (CRC-validated format, atomic writes,
+// keep-last-K generations); on boot rankd warm-starts from the newest valid
+// generation and serves it immediately — marked "stale" on /v1/snapshot —
+// while the first real build runs in the background. The operational
+// contract is "serve the last good snapshot, clearly marked stale", never
+// "serve nothing".
+//
+// SIGHUP — or -refresh at an interval — requests a rebuild; the new
+// snapshot publishes with an atomic pointer swap and requests in flight
+// finish on the snapshot they loaded. SIGINT/SIGTERM cancel any in-flight
+// build and drain promptly.
 //
 // Usage:
 //
 //	rankd [-addr HOST:PORT] [-seed N] [-scale F] [-vpscale F] [-topn N]
 //	      [-refresh D] [-countries CC,CC,...]
+//	      [-snapshot-dir DIR] [-snapshot-keep K] [-allow-degraded]
+//	      [-build-timeout D] [-stale-after D] [-max-inflight N]
 //	      [-access-log PATH] [-access-log-sample N] [-access-log-slow D]
 //	      [-trace-sample F] [-slo SPEC] [-slow-probe D]
 //	      [-v LEVEL] [-debug-addr HOST:PORT] [-trace-out FILE]
 //	      [-manifest FILE] [-timeline D]
 //
+// Robustness:
+//
+//   - -snapshot-dir enables the durable last-good store and warm starts.
+//   - -build-timeout bounds one rebuild; a hung build is abandoned and
+//     retried with backoff while the last good snapshot keeps serving.
+//   - -allow-degraded lets a quorum-degraded rebuild replace a healthy
+//     snapshot (default: it is rejected and the healthy one keeps serving).
+//   - -stale-after flips /readyz to 503 once the served snapshot's age
+//     exceeds it — readiness, distinct from /healthz liveness, so a load
+//     balancer can rotate a stale replica out without restarting it.
+//   - -max-inflight sheds requests beyond that concurrency with
+//     503 + Retry-After instead of queueing without bound.
+//
 // Observability:
 //
 //   - -access-log writes one wide JSON event per request ("-" for stderr)
 //     through a lock-free ring, head-sampled by -access-log-sample; errors
-//     and requests slower than -access-log-slow are always logged.
+//     and requests slower than -access-log-slow are always logged. The file
+//     is opened append-mode, so restarts (a designed-for event) extend the
+//     log instead of truncating it.
 //   - -trace-sample promotes that fraction of requests to full traces,
 //     inspectable at /debug/requests (active, recent, slowest per route).
 //   - -slo (e.g. "availability=99.9,latency=99.9@5ms" or "default") tracks
@@ -76,6 +108,12 @@ func main() {
 	refresh := flag.Duration("refresh", 0, "recompute and atomically swap the snapshot at this interval (0 = only on SIGHUP)")
 	ccList := flag.String("countries", "", "comma-separated country codes to serve (default: all with ranked ASes)")
 	shards := flag.Int("shards", 0, "propagation shards (0 = 4×GOMAXPROCS)")
+	snapDir := flag.String("snapshot-dir", "", "durably persist published snapshots here and warm-start from the newest valid generation (empty = off)")
+	snapKeep := flag.Int("snapshot-keep", snapshot.DefaultKeepGenerations, "on-disk snapshot generations to retain")
+	allowDegraded := flag.Bool("allow-degraded", false, "let a quorum-degraded rebuild replace a healthy snapshot")
+	buildTimeout := flag.Duration("build-timeout", 0, "abandon a rebuild after this long and retry with backoff (0 = no timeout)")
+	staleAfter := flag.Duration("stale-after", 0, "flip /readyz to 503 when the served snapshot is older than this (0 = never)")
+	maxInflight := flag.Int("max-inflight", 0, "shed /v1 requests beyond this concurrency with 503 + Retry-After (0 = no limit)")
 	accessLog := flag.String("access-log", "", "write wide-event request logs to this file (\"-\" = stderr, empty = off)")
 	accessSample := flag.Int("access-log-sample", 1, "log 1 in N successful responses (0 = none; errors and slow requests always logged)")
 	accessSlow := flag.Duration("access-log-slow", 100*time.Millisecond, "always log requests at least this slow (0 disables the override)")
@@ -105,25 +143,79 @@ func main() {
 	}
 
 	ofl.Manifest.Seed("world", *seed)
-	build := func(epoch int64) *snapshot.Snapshot {
+	build := func(ctx context.Context, epoch int64) (*snapshot.Snapshot, error) {
 		start := time.Now()
 		p := core.NewPipeline(opt)
+		if err := ctx.Err(); err != nil {
+			return nil, err // canceled mid-build: don't bother rendering
+		}
 		snap := snapshot.Build(p, epoch, cfg)
 		slog.Info("snapshot built", "epoch", epoch, "digest", snap.Digest[:12],
 			"countries", len(snap.CountryCodes()), "took", time.Since(start).Round(time.Millisecond))
-		return snap
+		return snap, ctx.Err()
 	}
 
-	epoch := int64(1)
-	store := snapshot.NewStore(build(epoch))
-	first := store.Load()
+	// Warm start: with -snapshot-dir, load the newest valid persisted
+	// generation and serve it (marked stale) while the first real build
+	// runs in the background. Cold start publishes nothing until the first
+	// build lands, so main waits for it below before listening.
+	var persist *snapshot.Persister
+	store := snapshot.NewStore(nil)
+	firstEpoch := int64(1)
+	if *snapDir != "" {
+		var err error
+		persist, err = snapshot.NewPersister(*snapDir, *snapKeep)
+		if err != nil {
+			slog.Error("snapshot dir unusable", "dir", *snapDir, "err", err)
+			os.Exit(1)
+		}
+		warm, skipped, err := persist.LoadLatest()
+		if err != nil {
+			slog.Error("snapshot dir unreadable", "dir", *snapDir, "err", err)
+			os.Exit(1)
+		}
+		if skipped > 0 {
+			slog.Warn("rejected corrupt snapshot generations at warm start", "dir", *snapDir, "skipped", skipped)
+		}
+		if warm != nil {
+			store = snapshot.NewStore(warm)
+			firstEpoch = warm.Epoch + 1
+			slog.Info("warm start: serving persisted snapshot while rebuilding",
+				"epoch", warm.Epoch, "digest", warm.Digest[:12],
+				"age", time.Since(warm.SavedAt).Round(time.Second))
+		}
+	}
+	warmStarted := store.Load() != nil
+
+	// firstPub closes once the supervisor publishes its first snapshot —
+	// the cold-start listen gate and the manifest trigger.
+	firstPub := make(chan struct{})
+	var firstPubClosed bool
+	sup := snapshot.NewSupervisor(store, firstEpoch, snapshot.SupervisorConfig{
+		Build:         build,
+		BuildTimeout:  *buildTimeout,
+		AllowDegraded: *allowDegraded,
+		StaleAfter:    *staleAfter,
+		Persist:       persist,
+		Seed:          *seed,
+		OnPublish: func(s *snapshot.Snapshot) {
+			if !firstPubClosed { // supervisor goroutine only; no race
+				firstPubClosed = true
+				close(firstPub)
+			}
+		},
+	})
+	obs.SetDefaultReady(sup.Ready)
+	sup.Trigger("boot")
 
 	// Assemble the serving instrumentation from the observability flags.
-	ins := snapshot.Instrumentation{SlowProbe: *slowProbe}
+	ins := snapshot.Instrumentation{SlowProbe: *slowProbe, MaxInFlight: *maxInflight}
 	if *accessLog != "" {
 		out := os.Stderr
 		if *accessLog != "-" {
-			f, err := os.Create(*accessLog)
+			// Append, never truncate: restarts are a designed-for event and
+			// the previous process's log is evidence, not garbage.
+			f, err := os.OpenFile(*accessLog, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 			if err != nil {
 				slog.Error("access log open failed", "path", *accessLog, "err", err)
 				os.Exit(1)
@@ -157,6 +249,15 @@ func main() {
 		ofl.Manifest.SetNote("trace_sample", strconv.FormatFloat(*traceSample, 'g', -1, 64))
 	}
 
+	// Cold start has nothing to serve yet: wait for the first publish so
+	// the first accepted connection always gets data. Warm start serves the
+	// persisted snapshot immediately and lets the rebuild land whenever it
+	// lands.
+	if !warmStarted {
+		<-firstPub
+	}
+	first := store.Load()
+
 	h := snapshot.NewHandler(store)
 	h.Instrument(ins)
 
@@ -167,9 +268,16 @@ func main() {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		slog.Error("listen failed", "addr", *addr, "err", err)
+		// os.Exit skips defers: flush the access log explicitly so the
+		// startup events (including a warm-start marker) are not lost.
+		if ins.Log != nil {
+			ins.Log.Close()
+		}
+		sup.Close()
 		os.Exit(1)
 	}
-	slog.Info("rankd serving", "addr", ln.Addr().String(), "epoch", epoch)
+	slog.Info("rankd serving", "addr", ln.Addr().String(),
+		"epoch", first.Epoch, "stale", first.Stale)
 
 	// The manifest is written now — at publish, not at exit — so anything
 	// scraping the daemon can pair responses with the digest that produced
@@ -177,6 +285,7 @@ func main() {
 	ofl.Manifest.SetNote("serving_addr", ln.Addr().String())
 	ofl.Manifest.SetNote("snapshot_digest", first.Digest)
 	ofl.Manifest.SetNote("snapshot_epoch", strconv.FormatInt(first.Epoch, 10))
+	ofl.Manifest.SetNote("snapshot_stale", strconv.FormatBool(first.Stale))
 	ofl.Manifest.SetNote("max_top_n", strconv.Itoa(first.MaxTopN()))
 	if *ofl.ManifestOut != "" {
 		ofl.Manifest.Finish(time.Since(start0), obs.Default.Snapshot(), obs.DefaultTrace.Render())
@@ -220,22 +329,17 @@ func main() {
 		ofl.Done()
 	}
 
-	rollover := func(reason string) {
-		epoch++
-		next := build(epoch)
-		old := store.Swap(next)
-		slog.Info("snapshot swapped", "reason", reason, "epoch", epoch,
-			"digest", next.Digest[:12], "changed", old == nil || old.Digest != next.Digest)
-	}
-
 	for {
 		select {
 		case <-hup:
-			rollover("SIGHUP")
+			sup.Trigger("SIGHUP") // coalesces if a build is already running
 		case <-tick:
-			rollover("refresh interval")
+			sup.Trigger("refresh interval")
 		case sig := <-stop:
 			slog.Info("shutting down", "signal", sig.String())
+			// Cancel any in-flight build first — shutdown must not wait for
+			// a slow rebuild — then drain the listener.
+			sup.Close()
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			if err := srv.Shutdown(ctx); err != nil {
 				slog.Warn("shutdown incomplete", "err", err)
@@ -246,8 +350,13 @@ func main() {
 		case err := <-serveErr:
 			if err != nil && !errors.Is(err, http.ErrServerClosed) {
 				slog.Error("serve failed", "err", err)
+				sup.Close()
+				if ins.Log != nil {
+					ins.Log.Close()
+				}
 				os.Exit(1)
 			}
+			sup.Close()
 			finish()
 			return
 		}

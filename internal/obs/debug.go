@@ -7,14 +7,43 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 )
+
+// defaultReady is the process-wide readiness probe behind /readyz, distinct
+// from /healthz liveness: a live daemon can be not-ready (e.g. serving a
+// snapshot stale beyond its threshold) and should be rotated out of a load
+// balancer without being restarted.
+var defaultReady atomic.Pointer[func() (detail string, ready bool)]
+
+// SetDefaultReady installs (or, with nil, clears) the readiness probe
+// /readyz consults. With no probe installed /readyz answers ok, matching
+// /healthz's permissive default.
+func SetDefaultReady(fn func() (string, bool)) {
+	if fn == nil {
+		defaultReady.Store(nil)
+		return
+	}
+	defaultReady.Store(&fn)
+}
+
+// GetDefaultReady returns the installed readiness probe, or nil.
+func GetDefaultReady() func() (string, bool) {
+	if p := defaultReady.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 // NewDebugMux builds the debug endpoint set every cmd shares:
 //
 //	/metrics         Prometheus text exposition of the Default registry
-//	/healthz         health probe: "ok", or 503 "degraded: <reason>" while
+//	/healthz         liveness probe: "ok", or 503 "degraded: <reason>" while
 //	                 the installed SLO engine's fast-burn threshold trips
+//	/readyz          readiness probe: consults the installed readiness
+//	                 function (SetDefaultReady); 503 "not ready: <detail>"
+//	                 when it reports false, ok otherwise
 //	/debug/vars      expvar JSON (includes the countryrank metric bridge)
 //	/debug/pprof     the standard pprof profile index
 //	/debug/trace     Chrome trace-event JSON snapshot of the DefaultTrace
@@ -41,6 +70,20 @@ func NewDebugMux() *http.ServeMux {
 			if reason, degraded := s.Degraded(); degraded {
 				w.WriteHeader(http.StatusServiceUnavailable)
 				fmt.Fprintln(w, "degraded: "+reason)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if probe := GetDefaultReady(); probe != nil {
+			if detail, ready := probe(); !ready {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, "not ready: "+detail)
+				return
+			} else if detail != "ok" && detail != "" {
+				fmt.Fprintln(w, "ok: "+detail)
 				return
 			}
 		}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestReadyzProbe pins the /readyz contract: permissive with no probe
+// installed, 503 "not ready" when the probe reports false, detail carried
+// either way, and liveness (/healthz) unaffected — readiness and liveness
+// are separate questions (rotate out of the LB vs restart the process).
+func TestReadyzProbe(t *testing.T) {
+	mux := NewDebugMux()
+	hit := func(path string) (int, string) {
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		return w.Code, w.Body.String()
+	}
+
+	SetDefaultReady(nil)
+	t.Cleanup(func() { SetDefaultReady(nil) })
+	if code, body := hit("/readyz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("no probe: /readyz = %d %q, want 200 ok", code, body)
+	}
+
+	state := "no snapshot published"
+	ready := false
+	SetDefaultReady(func() (string, bool) { return state, ready })
+	if code, body := hit("/readyz"); code != 503 || !strings.Contains(body, "not ready: no snapshot published") {
+		t.Fatalf("unready probe: /readyz = %d %q", code, body)
+	}
+	// Unreadiness must not flip liveness.
+	if code, _ := hit("/healthz"); code != 200 {
+		t.Fatalf("/healthz followed /readyz down: %d", code)
+	}
+
+	state, ready = "serving warm-loaded snapshot (rebuild pending)", true
+	if code, body := hit("/readyz"); code != 200 || !strings.Contains(body, "warm-loaded") {
+		t.Fatalf("ready-with-detail probe: /readyz = %d %q", code, body)
+	}
+
+	state, ready = "ok", true
+	if code, body := hit("/readyz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("plain ready probe: /readyz = %d %q", code, body)
+	}
+}

@@ -2,6 +2,7 @@ package snapshot
 
 import (
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,8 @@ var (
 		"snapshot rollovers published to the store")
 	mEpoch = obs.NewGauge("countryrank_rankd_snapshot_epoch",
 		"epoch of the currently served snapshot")
+	mShed = obs.NewCounter("countryrank_rankd_shed_total",
+		"requests shed by the in-flight admission gate (503 + Retry-After)")
 
 	mLatCountry = obs.NewHistogram("countryrank_rankd_country_seconds",
 		"latency of /v1/countries/{cc}", obs.ServingBuckets)
@@ -73,6 +76,13 @@ func (st *Store) Swap(next *Snapshot) *Snapshot {
 var (
 	hdrContentType  = []string{"application/json; charset=utf-8"}
 	hdrCacheControl = []string{"public, max-age=15, stale-while-revalidate=60"}
+
+	// Shed-path response, fully precomputed so refusing work allocates as
+	// little as serving it: an overloaded server must not amplify load.
+	shedBody      = []byte("overloaded, retry shortly\n")
+	hdrRetryAfter = []string{"1"}
+	hdrTextPlain  = []string{"text/plain; charset=utf-8"}
+	hdrShedLength = []string{strconv.Itoa(len(shedBody))}
 )
 
 // routeClass labels the endpoint a request resolved to, for wide events
@@ -84,9 +94,10 @@ const (
 	routeCountry
 	routeTop
 	routeIndex
+	routeShed
 )
 
-var routeNames = [...]string{"other", "country", "top", "snapshot"}
+var routeNames = [...]string{"other", "country", "top", "snapshot", "shed"}
 
 // Instrumentation is the handler's optional request-scoped observability:
 // every field nil (or zero) is off and costs one branch per request. The
@@ -107,6 +118,11 @@ type Instrumentation struct {
 	// for SLO drills (CI drives /healthz to degraded with it). Leave zero
 	// in production.
 	SlowProbe time.Duration
+	// MaxInFlight bounds concurrently admitted requests; excess requests
+	// are shed with 503 + Retry-After (no queueing — under overload a
+	// bounded fast no beats an unbounded slow yes). Zero disables the
+	// gate.
+	MaxInFlight int
 }
 
 // Handler serves the snapshot API:
@@ -125,6 +141,9 @@ type Instrumentation struct {
 type Handler struct {
 	store *Store
 	ins   Instrumentation
+	// inflight counts admitted requests; the admission gate is a single
+	// atomic add-and-compare, no lock and no allocation.
+	inflight atomic.Int64
 }
 
 // NewHandler serves from st with instrumentation off.
@@ -154,6 +173,14 @@ type reqResult struct {
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	mRequests.Inc()
+	if limit := h.ins.MaxInFlight; limit > 0 {
+		if h.inflight.Add(1) > int64(limit) {
+			h.inflight.Add(-1)
+			h.shed(w, r, start)
+			return
+		}
+		defer h.inflight.Add(-1)
+	}
 	var rs *obs.ReqSpan
 	if h.ins.Requests != nil {
 		rs = h.ins.Requests.Start(r.URL.Path)
@@ -184,6 +211,40 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			Client:  r.RemoteAddr,
 		}
 		if snap != nil {
+			ev.Epoch, ev.Digest = snap.Epoch, snap.Digest
+		}
+		h.ins.Log.Record(ev)
+	}
+}
+
+// shed refuses one request at the admission gate: 503 with Retry-After and
+// a preallocated body, counted and SLO-accounted (a shed request is real
+// unavailability — hiding it from the burn rate would lie to the operator).
+// The shed path allocates nothing, like the paths it protects: an
+// overloaded server must not amplify its own load.
+func (h *Handler) shed(w http.ResponseWriter, r *http.Request, start time.Time) {
+	mShed.Inc()
+	hdr := w.Header()
+	hdr["Retry-After"] = hdrRetryAfter
+	hdr["Content-Type"] = hdrTextPlain
+	hdr["Content-Length"] = hdrShedLength
+	w.WriteHeader(http.StatusServiceUnavailable)
+	bytes := 0
+	if r.Method != http.MethodHead {
+		_, _ = w.Write(shedBody)
+		bytes = len(shedBody)
+	}
+	lat := time.Since(start)
+	if h.ins.SLO != nil {
+		h.ins.SLO.Record(http.StatusServiceUnavailable, lat, false)
+	}
+	if h.ins.Log != nil {
+		ev := obs.AccessEvent{
+			Start: start, Route: routeNames[routeShed],
+			Status: http.StatusServiceUnavailable, Bytes: int64(bytes),
+			Latency: lat, Client: r.RemoteAddr,
+		}
+		if snap := h.store.Load(); snap != nil {
 			ev.Epoch, ev.Digest = snap.Epoch, snap.Digest
 		}
 		h.ins.Log.Record(ev)

@@ -342,6 +342,100 @@ func TestSlowProbe(t *testing.T) {
 	}
 }
 
+// TestShedOverLimit pins the admission gate: requests beyond MaxInFlight
+// are refused with 503 + Retry-After and counted, while admitted requests
+// are untouched — and the gate releases, so capacity returns when load
+// drops.
+func TestShedOverLimit(t *testing.T) {
+	s := testSnapshot(t)
+	h := NewHandler(NewStore(s))
+	h.Instrument(Instrumentation{MaxInFlight: 2})
+	shed0 := mShed.Value()
+
+	// Saturate the gate: two requests parked inside the handler.
+	inside := make(chan struct{}, 2)
+	release := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		go func() {
+			req := httptest.NewRequest(http.MethodGet, "/v1/countries/AU", nil)
+			h.ServeHTTP(&blockingWriter{inside: inside, release: release}, req)
+		}()
+	}
+	<-inside
+	<-inside
+
+	// The third concurrent request must shed.
+	w := get(t, h, "/v1/countries/AU", nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-limit request = %d, want 503", w.Code)
+	}
+	if ra := w.Header().Get("Retry-After"); ra == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	if cl := w.Header().Get("Content-Length"); cl != strconv.Itoa(w.Body.Len()) {
+		t.Errorf("shed Content-Length %q, body %d bytes", cl, w.Body.Len())
+	}
+	if d := mShed.Value() - shed0; d != 1 {
+		t.Errorf("shed counter moved by %d, want 1", d)
+	}
+
+	// Draining the parked requests frees the gate.
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if w := get(t, h, "/v1/countries/AU", nil); w.Code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("gate did not release after parked requests drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// blockingWriter parks the handler inside Write until released, holding an
+// admission slot occupied. Each instance serves exactly one request; only
+// the channels are shared.
+type blockingWriter struct {
+	hdr     http.Header
+	inside  chan struct{}
+	release chan struct{}
+}
+
+func (w *blockingWriter) Header() http.Header {
+	if w.hdr == nil {
+		w.hdr = http.Header{}
+	}
+	return w.hdr
+}
+func (w *blockingWriter) WriteHeader(int) {}
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	w.inside <- struct{}{}
+	<-w.release
+	return len(p), nil
+}
+
+// TestShedDisabledByDefault: zero MaxInFlight means no gate at all.
+func TestShedDisabledByDefault(t *testing.T) {
+	s := testSnapshot(t)
+	h := NewHandler(NewStore(s))
+	for i := 0; i < 5; i++ {
+		if w := get(t, h, "/v1/countries/AU", nil); w.Code != http.StatusOK {
+			t.Fatalf("request %d = %d with no gate configured", i, w.Code)
+		}
+	}
+}
+
+// TestShedLoadgenDistinguishable pins the contract cmd/loadgen relies on to
+// separate designed shedding from failure: the gate's 503 carries
+// Retry-After, the empty-store 503 does not.
+func TestShedLoadgenDistinguishable(t *testing.T) {
+	empty := NewHandler(NewStore(nil))
+	if w := get(t, empty, "/v1/snapshot", nil); w.Header().Get("Retry-After") != "" {
+		t.Error("empty-store 503 carries Retry-After; loadgen would misclassify it as shedding")
+	}
+}
+
 func TestStoreSwap(t *testing.T) {
 	a := Assemble(testData(1), Config{})
 	b := Assemble(testData(2), Config{})
@@ -392,9 +486,10 @@ func TestServeZeroAllocs(t *testing.T) {
 		obs.AccessLogConfig{Capacity: 64, SampleOK: 1, SlowAfter: time.Hour},
 	)
 	h.Instrument(Instrumentation{
-		Log:      log,
-		Requests: obs.NewReqTracker(1, 0, 0, 0), // sampling off
-		SLO:      obs.NewSLO(obs.SLOConfig{Availability: 0.999, LatencyTarget: 0.999, LatencyThreshold: 5 * time.Millisecond}),
+		Log:         log,
+		Requests:    obs.NewReqTracker(1, 0, 0, 0), // sampling off
+		SLO:         obs.NewSLO(obs.SLOConfig{Availability: 0.999, LatencyTarget: 0.999, LatencyThreshold: 5 * time.Millisecond}),
+		MaxInFlight: 64, // admission gate armed; everything below admits
 	})
 
 	cases := []struct {
@@ -433,5 +528,26 @@ func TestServeZeroAllocs(t *testing.T) {
 		if w.code != wantCode {
 			t.Errorf("%s: status %d, want %d", c.name, w.code, wantCode)
 		}
+	}
+
+	// The shed path must be zero-alloc too: an overloaded server that
+	// allocates per refused request amplifies its own overload. Fill the
+	// gate artificially and pin the 503 path.
+	h.inflight.Store(64)
+	defer h.inflight.Store(0)
+	u, err := url.Parse("/v1/countries/AU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &http.Request{Method: http.MethodGet, URL: u, Header: http.Header{}}
+	w := &nopWriter{hdr: http.Header{}}
+	allocs := testing.AllocsPerRun(200, func() {
+		h.ServeHTTP(w, req)
+	})
+	if allocs != 0 {
+		t.Errorf("shed 503: %.1f allocs/request, want 0", allocs)
+	}
+	if w.code != http.StatusServiceUnavailable {
+		t.Errorf("shed path status %d, want 503", w.code)
 	}
 }

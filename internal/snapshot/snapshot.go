@@ -23,6 +23,7 @@ import (
 	"encoding/hex"
 	"slices"
 	"strconv"
+	"time"
 
 	"countryrank/internal/core"
 	"countryrank/internal/countries"
@@ -84,6 +85,18 @@ type Snapshot struct {
 	// the same digest serve byte-identical data (their country ETags agree),
 	// so a refresh that recomputes unchanged rankings stays 304-friendly.
 	Digest string
+	// Degraded marks a snapshot built from a quorum-degraded pipeline (data
+	// was lost on ingest). The supervisor's publish gate refuses to replace
+	// a healthy snapshot with a degraded one unless explicitly allowed.
+	Degraded bool
+	// Stale marks a snapshot warm-loaded from disk at boot: the data is the
+	// last good publish of a previous process, served while the first real
+	// build runs. The index page carries the flag so clients can tell.
+	Stale bool
+	// SavedAt is when a warm-loaded snapshot was persisted by the previous
+	// process (zero for freshly built snapshots); the supervisor uses it to
+	// account snapshot age across restarts.
+	SavedAt time.Time
 
 	countries map[string]*entity // "AU" → country page
 	// tops maps a metric key ("ccg") to its preserialized top-N variants;
@@ -113,6 +126,9 @@ type Data struct {
 	Epoch     int64
 	Countries []CountryData
 	Tops      []TopData
+	// Degraded labels the snapshot as built from lossy ingest; see
+	// Snapshot.Degraded.
+	Degraded bool
 }
 
 // CountryCodes lists the snapshot's countries in sorted order.
@@ -164,6 +180,7 @@ func Assemble(d Data, cfg Config) *Snapshot {
 	k := cfg.maxTopN()
 	s := &Snapshot{
 		Epoch:     d.Epoch,
+		Degraded:  d.Degraded,
 		countries: make(map[string]*entity, len(d.Countries)),
 		tops:      make(map[string][]*entity, len(d.Tops)),
 		maxTopN:   k,
@@ -174,9 +191,18 @@ func Assemble(d Data, cfg Config) *Snapshot {
 	for _, td := range d.Tops {
 		s.tops[td.Metric] = topVariants(td, k)
 	}
+	s.finish()
+	return s
+}
 
+// finish seals a snapshot whose entity maps are fully populated: it derives
+// the content digest and preserializes the index page. The warm-start
+// loader shares it with Assemble, so a reconstructed snapshot recomputes
+// its digest through exactly the code path that produced the persisted one.
+func (s *Snapshot) finish() {
 	// The digest covers every body in sorted key order, so it is a function
-	// of the served content alone (not of assembly order or epoch).
+	// of the served content alone (not of assembly order, epoch, or the
+	// stale/degraded markers carried on the index page).
 	h := sha256.New()
 	for _, cc := range s.CountryCodes() {
 		h.Write([]byte("country:" + cc + "\n"))
@@ -189,7 +215,6 @@ func Assemble(d Data, cfg Config) *Snapshot {
 	}
 	s.Digest = hex.EncodeToString(h.Sum(nil))
 	s.index = newEntity(appendIndex(nil, s))
-	return s
 }
 
 // Build renders the pipeline's rankings into a Snapshot: the four country
@@ -215,7 +240,7 @@ func Build(p *core.Pipeline, epoch int64, cfg Config) *Snapshot {
 			CCI: cr.CCI, CCN: cr.CCN, AHI: cr.AHI, AHN: cr.AHN,
 		}
 	})
-	d := Data{Epoch: epoch}
+	d := Data{Epoch: epoch, Degraded: p.CoverageInfo().Degraded}
 	for _, cd := range got {
 		if cd != nil {
 			d.Countries = append(d.Countries, *cd)
@@ -283,12 +308,19 @@ func appendTop(dst []byte, td TopData, n int) []byte {
 	return append(dst, '}')
 }
 
-// appendIndex renders the /v1/snapshot metadata page.
+// appendIndex renders the /v1/snapshot metadata page. The stale and
+// degraded markers ride here — not in the country/top bodies — so a
+// warm-started daemon advertises "last good data, possibly old" without
+// moving the content digest or any cached ETag.
 func appendIndex(dst []byte, s *Snapshot) []byte {
 	dst = append(dst, `{"epoch":`...)
 	dst = strconv.AppendInt(dst, s.Epoch, 10)
 	dst = append(dst, `,"digest":`...)
 	dst = appendJSONString(dst, s.Digest)
+	dst = append(dst, `,"stale":`...)
+	dst = strconv.AppendBool(dst, s.Stale)
+	dst = append(dst, `,"degraded":`...)
+	dst = strconv.AppendBool(dst, s.Degraded)
 	dst = append(dst, `,"max_top_n":`...)
 	dst = strconv.AppendInt(dst, int64(s.maxTopN), 10)
 	dst = append(dst, `,"tops":[`...)
