@@ -346,9 +346,11 @@ func discover(base string) (ccs, tops []string, err error) {
 
 // scrapeServerObs collects the server's observability state after the run:
 // burn rates and degraded flag from /debug/slo (absent when the server runs
-// without -slo) plus access-log and trace overhead counters from the
-// countryrank expvar bridge. Everything is best-effort — an unreachable or
-// uninstrumented server just yields fewer keys.
+// without -slo) plus access-log, trace, and drift-layer counters (churn
+// score, history-ring depth) from the countryrank expvar bridge, so the
+// BENCH snapshot regression-tracks the drift layer's overhead like the
+// rest of the instrumentation. Everything is best-effort — an unreachable
+// or uninstrumented server just yields fewer keys.
 func scrapeServerObs(base string, client *http.Client) map[string]float64 {
 	out := map[string]float64{}
 	if resp, err := client.Get(base + "/debug/slo"); err == nil {
@@ -384,10 +386,14 @@ func scrapeServerObs(base string, client *http.Client) map[string]float64 {
 		}
 		if json.NewDecoder(resp.Body).Decode(&vars) == nil {
 			for src, dst := range map[string]string{
-				"countryrank_accesslog_events_total":  "accesslog_events",
-				"countryrank_accesslog_dropped_total": "accesslog_dropped",
-				"countryrank_reqtrace_sampled_total":  "traces_sampled",
-				"countryrank_rankd_shed_total":        "server_shed",
+				"countryrank_accesslog_events_total":    "accesslog_events",
+				"countryrank_accesslog_dropped_total":   "accesslog_dropped",
+				"countryrank_reqtrace_sampled_total":    "traces_sampled",
+				"countryrank_rankd_shed_total":          "server_shed",
+				"countryrank_drift_churn_score":         "drift_churn_score",
+				"countryrank_rankd_history_epochs":      "history_epochs",
+				"countryrank_drift_rollovers_total":     "drift_rollovers",
+				"countryrank_rankd_drift_rejects_total": "drift_rejects",
 			} {
 				if v, ok := vars.Countryrank[src]; ok && v > 0 {
 					out[dst] = v

@@ -3,10 +3,13 @@
 // for every country plus the global CCG/AHG rankings, preserializes them
 // into an immutable snapshot (internal/snapshot), and serves:
 //
-//	GET /v1/countries/{cc}     one country's four rankings
-//	GET /v1/top/{metric}?n=N   global top-N (ccg, ahg)
-//	GET /v1/snapshot           snapshot metadata (epoch, content digest,
-//	                           stale/degraded markers)
+//	GET /v1/countries/{cc}          one country's four rankings
+//	GET /v1/countries/{cc}/history  the country's rank vectors across the
+//	                                last -history epochs (preserialized at
+//	                                publish, so still zero-alloc to serve)
+//	GET /v1/top/{metric}?n=N        global top-N (ccg, ahg)
+//	GET /v1/snapshot                snapshot metadata (epoch, content
+//	                                digest, stale/degraded markers)
 //
 // plus the shared debug surface (/metrics, /healthz, /readyz, /debug/...)
 // on the same listener. Responses carry strong ETags and Cache-Control; the
@@ -36,6 +39,7 @@
 //	rankd [-addr HOST:PORT] [-seed N] [-scale F] [-vpscale F] [-topn N]
 //	      [-refresh D] [-countries CC,CC,...]
 //	      [-snapshot-dir DIR] [-snapshot-keep K] [-allow-degraded]
+//	      [-drift-gate SCORE] [-allow-drift] [-history K] [-seed-step N]
 //	      [-build-timeout D] [-stale-after D] [-max-inflight N]
 //	      [-access-log PATH] [-access-log-sample N] [-access-log-slow D]
 //	      [-trace-sample F] [-slo SPEC] [-slow-probe D]
@@ -69,6 +73,16 @@
 //     fast burn exceeds its trip threshold.
 //   - -slow-probe delays requests whose query carries probe=slow — a CI
 //     hook for exercising the degraded flip.
+//
+// Drift and history: every rollover is diffed against the outgoing
+// snapshot (internal/snapshot.Diff) — per-metric churn scores, entered and
+// exited ASes, and top movers export as countryrank_drift_* metrics, land
+// in the manifest as a drift summary, and accumulate in an epoch history
+// ring (-history K) served at /debug/history and per country at
+// /v1/countries/{cc}/history. -drift-gate SCORE refuses to publish a
+// rebuild whose churn exceeds the threshold (like the degraded gate:
+// logged, counted, no backoff; -allow-drift overrides). cmd/rankdiff
+// renders the same diff offline from two persisted generations.
 //
 // -manifest writes the provenance manifest as soon as the first snapshot is
 // published (not at exit), recording the serving config and the snapshot
@@ -111,6 +125,10 @@ func main() {
 	snapDir := flag.String("snapshot-dir", "", "durably persist published snapshots here and warm-start from the newest valid generation (empty = off)")
 	snapKeep := flag.Int("snapshot-keep", snapshot.DefaultKeepGenerations, "on-disk snapshot generations to retain")
 	allowDegraded := flag.Bool("allow-degraded", false, "let a quorum-degraded rebuild replace a healthy snapshot")
+	driftGate := flag.Float64("drift-gate", 0, "refuse to publish a rebuild whose drift churn score exceeds this (0 = off)")
+	allowDrift := flag.Bool("allow-drift", false, "override -drift-gate (the drift is still computed and logged)")
+	histKeep := flag.Int("history", snapshot.DefaultHistoryEpochs, "epochs of per-country rank history to retain (/debug/history, /v1/countries/{cc}/history)")
+	seedStep := flag.Int64("seed-step", 0, "advance the world seed by this much per epoch so successive rebuilds differ (drift demo / CI hook; 0 = fixed world)")
 	buildTimeout := flag.Duration("build-timeout", 0, "abandon a rebuild after this long and retry with backoff (0 = no timeout)")
 	staleAfter := flag.Duration("stale-after", 0, "flip /readyz to 503 when the served snapshot is older than this (0 = never)")
 	maxInflight := flag.Int("max-inflight", 0, "shed /v1 requests beyond this concurrency with 503 + Retry-After (0 = no limit)")
@@ -145,7 +163,13 @@ func main() {
 	ofl.Manifest.Seed("world", *seed)
 	build := func(ctx context.Context, epoch int64) (*snapshot.Snapshot, error) {
 		start := time.Now()
-		p := core.NewPipeline(opt)
+		bopt := opt
+		if *seedStep != 0 {
+			// Drift demo / CI hook: each epoch builds a slightly different
+			// world, so rollovers produce real rank movement.
+			bopt.Seed = *seed + (epoch-1)*(*seedStep)
+		}
+		p := core.NewPipeline(bopt)
 		if err := ctx.Err(); err != nil {
 			return nil, err // canceled mid-build: don't bother rendering
 		}
@@ -191,10 +215,13 @@ func main() {
 	// the cold-start listen gate and the manifest trigger.
 	firstPub := make(chan struct{})
 	var firstPubClosed bool
+	store.SetHistoryLimit(*histKeep)
 	sup := snapshot.NewSupervisor(store, firstEpoch, snapshot.SupervisorConfig{
 		Build:         build,
 		BuildTimeout:  *buildTimeout,
 		AllowDegraded: *allowDegraded,
+		DriftGate:     *driftGate,
+		AllowDrift:    *allowDrift,
 		StaleAfter:    *staleAfter,
 		Persist:       persist,
 		Seed:          *seed,
@@ -206,6 +233,7 @@ func main() {
 		},
 	})
 	obs.SetDefaultReady(sup.Ready)
+	obs.SetDefaultHistory(func() any { return store.HistoryData() })
 	sup.Trigger("boot")
 
 	// Assemble the serving instrumentation from the observability flags.
@@ -311,9 +339,17 @@ func main() {
 		tick = t.C
 	}
 
-	// finish records the final SLO burn state into the manifest (Done
-	// rewrites it when -manifest was given) before the shared teardown.
+	// finish records the final SLO burn state and the last rollover's drift
+	// summary into the manifest (Done rewrites it when -manifest was given)
+	// before the shared teardown.
 	finish := func() {
+		if d := sup.LastDrift(); d != nil {
+			ofl.Manifest.SetNote("drift_summary", d.Summary())
+			ofl.Manifest.SetNote("drift_churn_score", strconv.FormatFloat(d.MaxChurn, 'g', -1, 64))
+			ofl.Manifest.SetNote("drift_max_rank_delta", strconv.Itoa(d.MaxRankDelta))
+			ofl.Manifest.SetNote("drift_epochs",
+				strconv.FormatInt(d.OldEpoch, 10)+"->"+strconv.FormatInt(d.NewEpoch, 10))
+		}
 		if slo != nil {
 			availFast, availSlow, latFast, latSlow := slo.Burns()
 			reason, degraded := slo.Degraded()

@@ -36,6 +36,30 @@ func GetDefaultReady() func() (string, bool) {
 	return nil
 }
 
+// defaultHistory feeds /debug/history: a provider returning an
+// epoch-aligned series document (rankd installs its snapshot store's
+// HistoryData). Kept as an opaque any so obs does not depend on the
+// snapshot package.
+var defaultHistory atomic.Pointer[func() any]
+
+// SetDefaultHistory installs (or, with nil, clears) the /debug/history
+// provider.
+func SetDefaultHistory(fn func() any) {
+	if fn == nil {
+		defaultHistory.Store(nil)
+		return
+	}
+	defaultHistory.Store(&fn)
+}
+
+// GetDefaultHistory returns the installed history provider, or nil.
+func GetDefaultHistory() func() any {
+	if p := defaultHistory.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // NewDebugMux builds the debug endpoint set every cmd shares:
 //
 //	/metrics         Prometheus text exposition of the Default registry
@@ -49,6 +73,8 @@ func GetDefaultReady() func() (string, bool) {
 //	/debug/trace     Chrome trace-event JSON snapshot of the DefaultTrace
 //	/debug/timeline  ring-buffer metric timeline JSON (empty series when
 //	                 no timeline sampler is installed)
+//	/debug/history   epoch-aligned rank-drift series from the installed
+//	                 history provider (SetDefaultHistory; empty when none)
 //	/debug/requests  sampled request traces: active, recent, and slowest-N
 //	                 per route (empty when no tracker is installed)
 //	/debug/slo       objectives, window counts, and burn rates (disabled
@@ -110,6 +136,15 @@ func NewDebugMux() *http.ServeMux {
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = DefaultTrace.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/debug/history", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		if h := GetDefaultHistory(); h != nil {
+			_ = enc.Encode(h())
+			return
+		}
+		_ = enc.Encode(map[string]any{"epochs": []int64{}, "series": map[string][]float64{}})
 	})
 	mux.HandleFunc("/debug/timeline", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")

@@ -45,3 +45,34 @@ func TestReadyzProbe(t *testing.T) {
 		t.Fatalf("plain ready probe: /readyz = %d %q", code, body)
 	}
 }
+
+// TestDebugHistory pins the /debug/history installation point: an empty
+// document with no provider installed, the provider's value (JSON-encoded)
+// once one is set.
+func TestDebugHistory(t *testing.T) {
+	mux := NewDebugMux()
+	hit := func(path string) (int, string) {
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		return w.Code, w.Body.String()
+	}
+
+	SetDefaultHistory(nil)
+	t.Cleanup(func() { SetDefaultHistory(nil) })
+	if code, body := hit("/debug/history"); code != 200 || !strings.Contains(body, `"epochs":[]`) {
+		t.Fatalf("no provider: /debug/history = %d %q, want empty document", code, body)
+	}
+
+	SetDefaultHistory(func() any {
+		return map[string]any{"epochs": []int64{7, 8}, "series": map[string][]float64{"churn_cci": {0, 1.5}}}
+	})
+	code, body := hit("/debug/history")
+	if code != 200 {
+		t.Fatalf("/debug/history = %d", code)
+	}
+	for _, frag := range []string{`"epochs":[7,8]`, `"churn_cci":[0,1.5]`} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("/debug/history body %q missing %q", body, frag)
+		}
+	}
+}

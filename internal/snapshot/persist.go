@@ -5,7 +5,7 @@ package snapshot
 // the newest generation that passes validation and serves it (marked stale)
 // while the first real build runs in the background.
 //
-// On-disk format (version 1, file snap-<epoch 16 hex digits>.csnap):
+// On-disk format (version 2, file snap-<epoch 16 hex digits>.csnap):
 //
 //	magic    [8]byte  "CRSNAP1\n"
 //	u32      header length (little-endian, capped)
@@ -13,12 +13,24 @@ package snapshot
 //	         and the section count
 //	u32      CRC32 (IEEE) of the header bytes
 //	sections section count times:
-//	           u8  kind (1 = country page, 2 = top variants)
+//	           u8  kind (1 = country page, 2 = top variants,
+//	                     3 = country rank vectors, 4 = top rank vector)
 //	           u8  key length, key bytes ("AU", "ccg")
-//	           u32 body count (1 for a country, len(variants) for a top)
+//	           u32 body count (1 for a country, len(variants) for a top,
+//	               4 for country ranks — CCI/CCN/AHI/AHN order — and 1 for
+//	               a top rank vector)
 //	           per body: u32 length, body bytes
 //	           u32 CRC32 of the section bytes (kind through last body)
 //	magic    [8]byte  "CRSNEND\n"
+//
+// Kind 1/2 bodies are the preserialized JSON pages. Kind 3/4 bodies are
+// binary rank vectors (u32 entry count, then per entry: u32 ASN, u64
+// float64 value bits, u16 name length, name bytes — all little-endian):
+// the structured data the drift diff engine consumes, persisted so
+// cmd/rankdiff can diff two generations through the exact code path the
+// live supervisor uses, never by re-parsing served JSON. Version-1 files
+// (no rank sections) still load; the reconstructed snapshot then reports
+// HasRanks() == false and drift against it is skipped.
 //
 // Three layers reject a bad file: structural parsing (truncation, caps,
 // trailer), the per-section CRCs (bit rot), and a full content check — the
@@ -38,6 +50,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"slices"
@@ -46,6 +59,7 @@ import (
 	"strings"
 	"time"
 
+	"countryrank/internal/asn"
 	"countryrank/internal/obs"
 )
 
@@ -61,10 +75,12 @@ var (
 const (
 	persistMagic   = "CRSNAP1\n"
 	persistTrailer = "CRSNEND\n"
-	persistVersion = 1
+	persistVersion = 2
 
-	sectionCountry = 1
-	sectionTop     = 2
+	sectionCountry      = 1
+	sectionTop          = 2
+	sectionCountryRanks = 3
+	sectionTopRanks     = 4
 
 	// maxHeaderLen and maxBodyLen bound the allocations a hostile or
 	// corrupted length field can demand before any CRC is checked.
@@ -109,6 +125,15 @@ func NewPersister(dir string, keep int) (*Persister, error) {
 
 // Dir returns the store's directory.
 func (p *Persister) Dir() string { return p.dir }
+
+// Generations lists the on-disk generation files newest-first (no
+// validation; LoadFile rejects bad ones). cmd/rankdiff uses it to pick
+// the two most recent epochs of a -snapshot-dir.
+func (p *Persister) Generations() ([]string, error) { return p.generations() }
+
+// GenerationPath returns where the given epoch's generation file lives
+// (whether or not it exists).
+func (p *Persister) GenerationPath(epoch int64) string { return genPath(p.dir, epoch) }
 
 func genPath(dir string, epoch int64) string {
 	return filepath.Join(dir, fmt.Sprintf("snap-%016x.csnap", uint64(epoch)))
@@ -199,10 +224,14 @@ func (p *Persister) prune() {
 func writeSnapshotFile(path string, s *Snapshot) error {
 	ccs := s.CountryCodes()
 	tops := s.TopMetrics()
+	sections := len(ccs) + len(tops)
+	if s.HasRanks() {
+		sections += len(s.ranks) + len(s.topRanks)
+	}
 	hdr := persistHeader{
 		Version: persistVersion, Epoch: s.Epoch, Digest: s.Digest,
 		MaxTopN: s.maxTopN, Degraded: s.Degraded,
-		SavedUnix: time.Now().Unix(), Sections: len(ccs) + len(tops),
+		SavedUnix: time.Now().Unix(), Sections: sections,
 	}
 	hdrJSON, err := json.Marshal(hdr)
 	if err != nil {
@@ -234,6 +263,18 @@ func writeSnapshotFile(path string, s *Snapshot) error {
 			bodies[i] = v.body
 		}
 		appendSection(sectionTop, m, bodies)
+	}
+	if s.HasRanks() {
+		for _, cc := range unionKeys(s.ranks, nil) {
+			bodies := make([][]byte, len(countryMetricKeys))
+			for i, metric := range countryMetricKeys {
+				bodies[i] = encodeRankVec(nil, s.ranks[cc][metric])
+			}
+			appendSection(sectionCountryRanks, cc, bodies)
+		}
+		for _, m := range unionKeys(s.topRanks, nil) {
+			appendSection(sectionTopRanks, m, [][]byte{encodeRankVec(nil, s.topRanks[m])})
+		}
 	}
 	buf = append(buf, persistTrailer...)
 
@@ -320,7 +361,7 @@ func LoadFile(path string) (*Snapshot, error) {
 	if err := json.Unmarshal(hdrJSON, &hdr); err != nil {
 		return nil, corruptf("%s: header JSON: %v", path, err)
 	}
-	if hdr.Version != persistVersion {
+	if hdr.Version != 1 && hdr.Version != persistVersion {
 		return nil, corruptf("%s: unsupported version %d", path, hdr.Version)
 	}
 	if hdr.Sections < 0 || hdr.MaxTopN <= 0 {
@@ -390,8 +431,46 @@ func LoadFile(path string) (*Snapshot, error) {
 				vs[j] = newEntity(b)
 			}
 			s.tops[string(key)] = vs
+		case sectionCountryRanks:
+			if len(bodies) != len(countryMetricKeys) {
+				return nil, corruptf("%s: country-ranks section %q has %d bodies", path, key, len(bodies))
+			}
+			if s.ranks == nil {
+				s.ranks = map[string]map[string]RankVec{}
+			}
+			vm := make(map[string]RankVec, len(countryMetricKeys))
+			for j, metric := range countryMetricKeys {
+				v, err := decodeRankVec(bodies[j])
+				if err != nil {
+					return nil, corruptf("%s: country-ranks section %q metric %s: %v", path, key, metric, err)
+				}
+				vm[metric] = v
+			}
+			s.ranks[string(key)] = vm
+		case sectionTopRanks:
+			if len(bodies) != 1 {
+				return nil, corruptf("%s: top-ranks section %q has %d bodies", path, key, len(bodies))
+			}
+			v, err := decodeRankVec(bodies[0])
+			if err != nil {
+				return nil, corruptf("%s: top-ranks section %q: %v", path, key, err)
+			}
+			if s.topRanks == nil {
+				s.topRanks = map[string]RankVec{}
+			}
+			s.topRanks[string(key)] = v
 		default:
 			return nil, corruptf("%s: section %d has unknown kind %d", path, i, kind)
+		}
+	}
+	if hdr.Version >= 2 {
+		// A v2 file always carries rank sections; normalize empty maps so
+		// HasRanks holds even for a snapshot with no countries.
+		if s.ranks == nil {
+			s.ranks = map[string]map[string]RankVec{}
+		}
+		if s.topRanks == nil {
+			s.topRanks = map[string]RankVec{}
 		}
 	}
 	if b, err := take(len(persistTrailer)); err != nil || string(b) != persistTrailer {
@@ -409,6 +488,57 @@ func LoadFile(path string) (*Snapshot, error) {
 			path, shortDigest(s.Digest), shortDigest(hdr.Digest))
 	}
 	return s, nil
+}
+
+// encodeRankVec appends one rank vector's binary encoding: u32 entry
+// count, then per entry u32 ASN, u64 value bits, u16 name length, name
+// bytes. Float values travel as raw bits so a loaded vector diffs
+// bit-identically to the one that was saved.
+func encodeRankVec(dst []byte, v RankVec) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v)))
+	for _, e := range v {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(e.ASN))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Value))
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(e.Name)))
+		dst = append(dst, e.Name...)
+	}
+	return dst
+}
+
+// decodeRankVec parses encodeRankVec's output, rejecting truncation and
+// trailing bytes (the section CRC already caught bit rot; this catches
+// structural nonsense).
+func decodeRankVec(b []byte) (RankVec, error) {
+	if len(b) < 4 {
+		return nil, errors.New("rank vector truncated before count")
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if n > uint32(maxBodyLen/14) {
+		return nil, fmt.Errorf("rank vector entry count %d implausible", n)
+	}
+	v := make(RankVec, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 14 {
+			return nil, fmt.Errorf("rank vector truncated at entry %d", i)
+		}
+		e := RankEntry{
+			ASN:   asn.ASN(binary.LittleEndian.Uint32(b)),
+			Value: math.Float64frombits(binary.LittleEndian.Uint64(b[4:])),
+		}
+		nameLen := int(binary.LittleEndian.Uint16(b[12:]))
+		b = b[14:]
+		if len(b) < nameLen {
+			return nil, fmt.Errorf("rank vector name truncated at entry %d", i)
+		}
+		e.Name = string(b[:nameLen])
+		b = b[nameLen:]
+		v = append(v, e)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("rank vector has %d trailing bytes", len(b))
+	}
+	return v, nil
 }
 
 // shortDigest trims a digest for log lines; tolerant of short test values.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -60,6 +61,19 @@ func TestPersistRoundTrip(t *testing.T) {
 				t.Errorf("top %s variant %d body changed", m, i)
 			}
 		}
+	}
+
+	// Format v2 persists the structured rank vectors; the warm load must
+	// reproduce them exactly so an offline rankdiff over generation files
+	// agrees with the live drift computed from the in-memory snapshots.
+	if !got.HasRanks() {
+		t.Fatal("loaded snapshot carries no rank vectors")
+	}
+	if !reflect.DeepEqual(got.ranks, s.ranks) {
+		t.Errorf("country rank vectors changed across persist round trip:\n got %v\nwant %v", got.ranks, s.ranks)
+	}
+	if !reflect.DeepEqual(got.topRanks, s.topRanks) {
+		t.Errorf("top rank vectors changed across persist round trip:\n got %v\nwant %v", got.topRanks, s.topRanks)
 	}
 
 	// The warm-loaded index page must advertise the staleness.

@@ -1,9 +1,11 @@
 package snapshot
 
 import (
+	"expvar"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -30,6 +32,10 @@ var (
 		"epoch of the currently served snapshot")
 	mShed = obs.NewCounter("countryrank_rankd_shed_total",
 		"requests shed by the in-flight admission gate (503 + Retry-After)")
+	mStale = obs.NewGauge("countryrank_rankd_serving_stale",
+		"1 while the served snapshot was warm-loaded from disk and the first rebuild has not yet landed")
+	mHistEpochs = obs.NewGauge("countryrank_rankd_history_epochs",
+		"epochs currently retained in the store's rank-history ring")
 
 	mLatCountry = obs.NewHistogram("countryrank_rankd_country_seconds",
 		"latency of /v1/countries/{cc}", obs.ServingBuckets)
@@ -37,7 +43,31 @@ var (
 		"latency of /v1/top/{metric}", obs.ServingBuckets)
 	mLatIndex = obs.NewHistogram("countryrank_rankd_snapshot_seconds",
 		"latency of /v1/snapshot", obs.ServingBuckets)
+	mLatHistory = obs.NewHistogram("countryrank_rankd_history_seconds",
+		"latency of /v1/countries/{cc}/history", obs.ServingBuckets)
 )
+
+// Snapshot identity expvars (satellite of the drift-observability layer):
+// epoch, content digest, and data build time of the currently served
+// snapshot, published under /debug/vars so scrape tooling sees rollovers
+// without parsing /v1/snapshot.
+var (
+	identityOnce sync.Once
+	expEpoch     *expvar.Int
+	expDigest    *expvar.String
+	expBuilt     *expvar.Int
+)
+
+func publishIdentity(s *Snapshot) {
+	identityOnce.Do(func() {
+		expEpoch = expvar.NewInt("countryrank_snapshot_epoch")
+		expDigest = expvar.NewString("countryrank_snapshot_digest")
+		expBuilt = expvar.NewInt("countryrank_snapshot_built_unix")
+	})
+	expEpoch.Set(s.Epoch)
+	expDigest.Set(s.Digest)
+	expBuilt.Set(s.BuiltUnix())
+}
 
 // Store publishes the currently served snapshot. Swap is an atomic pointer
 // store: readers that already loaded the old snapshot keep serving it
@@ -46,15 +76,25 @@ var (
 // holding it returns. No locks, no reference counts.
 type Store struct {
 	cur atomic.Pointer[Snapshot]
+
+	// The epoch history ring (history.go): bounded retention of the last
+	// keep epochs' rank vectors, appended under mu by Publish.
+	mu   sync.Mutex
+	keep int
+	hist []histEntry
 }
 
 // NewStore returns a store serving s (which may be nil; requests then
-// answer 503 until the first Swap).
+// answer 503 until the first Swap). A non-nil s with rank vectors seeds
+// the history ring.
 func NewStore(s *Snapshot) *Store {
-	st := &Store{}
+	st := &Store{keep: DefaultHistoryEpochs}
 	if s != nil {
+		st.appendHistoryLocked(s, nil) // no readers yet; no lock needed
 		st.cur.Store(s)
 		mEpoch.Set(s.Epoch)
+		mStale.Set(b2i(s.Stale))
+		publishIdentity(s)
 	}
 	return st
 }
@@ -63,12 +103,35 @@ func NewStore(s *Snapshot) *Store {
 // Swap).
 func (st *Store) Load() *Snapshot { return st.cur.Load() }
 
-// Swap publishes next and returns the previously served snapshot.
+// Swap publishes next and returns the previously served snapshot. It does
+// not touch the history ring — the supervisor publishes through Publish,
+// which does.
 func (st *Store) Swap(next *Snapshot) *Snapshot {
 	old := st.cur.Swap(next)
 	mSwaps.Inc()
 	mEpoch.Set(next.Epoch)
+	mStale.Set(b2i(next.Stale))
+	publishIdentity(next)
 	return old
+}
+
+// Publish records next (and the drift that produced it, which may be nil)
+// in the history ring, preserializes the per-country history pages into
+// next, and then swaps it in. The ring mutation and the swap share the
+// store mutex so concurrent publishes cannot interleave ring order with
+// serving order.
+func (st *Store) Publish(next *Snapshot, d *Drift) *Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.appendHistoryLocked(next, d)
+	return st.Swap(next)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Precomputed header values, assigned into the response header map by
@@ -95,9 +158,10 @@ const (
 	routeTop
 	routeIndex
 	routeShed
+	routeHistory
 )
 
-var routeNames = [...]string{"other", "country", "top", "snapshot", "shed"}
+var routeNames = [...]string{"other", "country", "top", "snapshot", "shed", "history"}
 
 // Instrumentation is the handler's optional request-scoped observability:
 // every field nil (or zero) is off and costs one branch per request. The
@@ -280,9 +344,18 @@ func (h *Handler) serve(w http.ResponseWriter, r *http.Request, snap *Snapshot, 
 		e, lat = snap.index, mLatIndex
 		res.route = routeIndex
 	case len(path) > len(prefixCountries) && path[:len(prefixCountries)] == prefixCountries:
-		res.route = routeCountry
-		res.target = path[len(prefixCountries):]
-		e, lat = snap.country(res.target), mLatCountry
+		rest := path[len(prefixCountries):]
+		if i := strings.IndexByte(rest, '/'); i >= 0 && rest[i+1:] == "history" {
+			// /v1/countries/{cc}/history — the preserialized epoch-history
+			// page (rendered at publish time; serving it allocates nothing).
+			res.route = routeHistory
+			res.target = rest[:i]
+			e, lat = snap.historyPage(rest[:i]), mLatHistory
+		} else {
+			res.route = routeCountry
+			res.target = rest
+			e, lat = snap.country(rest), mLatCountry
+		}
 	case len(path) > len(prefixTop) && path[:len(prefixTop)] == prefixTop:
 		res.route = routeTop
 		res.target = path[len(prefixTop):]
@@ -351,6 +424,28 @@ func (s *Snapshot) country(cc string) *entity {
 		buf[i] = c
 	}
 	return s.countries[string(buf[:len(cc)])]
+}
+
+// historyPage resolves a country's preserialized history page, with the
+// same stack-buffer uppercase normalization as country. Nil when the
+// snapshot was published without a history ring (raw Swap) or the country
+// never appeared in the retained epochs.
+func (s *Snapshot) historyPage(cc string) *entity {
+	var buf [8]byte
+	if len(cc) == 0 || len(cc) > len(buf) {
+		return nil
+	}
+	for i := 0; i < len(cc); i++ {
+		c := cc[i]
+		if c == '/' {
+			return nil
+		}
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	return s.history[string(buf[:len(cc)])]
 }
 
 // top resolves a top-N variant from the metric path segment and the raw

@@ -132,6 +132,9 @@ func TestHandlerErrors(t *testing.T) {
 	for path, want := range map[string]int{
 		"/v1/countries/ZZ":          http.StatusNotFound, // unknown country
 		"/v1/countries/AU/x":        http.StatusNotFound, // no sub-paths
+		"/v1/countries/ZZ/history":  http.StatusNotFound, // unknown country history
+		"/v1/countries/AU/history/": http.StatusNotFound, // no deeper sub-paths
+		"/v1/countries//history":    http.StatusNotFound, // empty country code
 		"/v1/countries/":            http.StatusNotFound,
 		"/v1/countries/TOOLONGCODE": http.StatusNotFound,
 		"/v1/top/bogus":             http.StatusNotFound, // unknown metric
@@ -504,6 +507,12 @@ func TestServeZeroAllocs(t *testing.T) {
 		{"top default-n 200", "/v1/top/ccg", ""},
 		{"top 304", "/v1/top/ccg?n=2", s.tops["ccg"][1].etag},
 		{"index 200", "/v1/snapshot", ""},
+		// The epoch-history page is preserialized at publish (NewStore
+		// seeded the ring), so serving it must be as alloc-free as any
+		// entity — the drift layer's zero-alloc pin.
+		{"history 200", "/v1/countries/AU/history", ""},
+		{"history lowercase 200", "/v1/countries/au/history", ""},
+		{"history 304", "/v1/countries/AU/history", s.history["AU"].etag},
 	}
 	for _, c := range cases {
 		u, err := url.Parse(c.path)

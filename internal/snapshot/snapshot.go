@@ -104,6 +104,23 @@ type Snapshot struct {
 	tops    map[string][]*entity
 	index   *entity // the /v1/snapshot metadata page
 	maxTopN int
+
+	// ranks and topRanks carry the structured rank vectors the entities
+	// were rendered from — "AU" → metric → ordered top-K, and top metric
+	// key → ordered top-K — so the drift diff engine and the epoch history
+	// ring work from data, never by re-parsing served JSON. Nil only for
+	// snapshots warm-loaded from a format-v1 generation file.
+	ranks    map[string]map[string]RankVec
+	topRanks map[string]RankVec
+
+	// history holds the preserialized /v1/countries/{cc}/history pages,
+	// rendered by Store.Publish from its epoch ring before the snapshot
+	// becomes visible (so serving them is as zero-alloc as any entity).
+	// Nil when published through a raw Swap; the endpoint then 404s.
+	history map[string]*entity
+
+	// builtAt is when Assemble ran; see BuiltUnix.
+	builtAt time.Time
 }
 
 // CountryData is one country's rankings as fed to Assemble.
@@ -184,15 +201,50 @@ func Assemble(d Data, cfg Config) *Snapshot {
 		countries: make(map[string]*entity, len(d.Countries)),
 		tops:      make(map[string][]*entity, len(d.Tops)),
 		maxTopN:   k,
+		ranks:     make(map[string]map[string]RankVec, len(d.Countries)),
+		topRanks:  make(map[string]RankVec, len(d.Tops)),
+		builtAt:   time.Now(),
 	}
 	for _, cd := range d.Countries {
 		s.countries[string(cd.Code)] = newEntity(appendCountry(nil, cd, k))
+		s.ranks[string(cd.Code)] = map[string]RankVec{
+			"CCI": rankVec(cd.CCI, k), "CCN": rankVec(cd.CCN, k),
+			"AHI": rankVec(cd.AHI, k), "AHN": rankVec(cd.AHN, k),
+		}
 	}
 	for _, td := range d.Tops {
 		s.tops[td.Metric] = topVariants(td, k)
+		s.topRanks[td.Metric] = rankVec(td.Ranking, k)
 	}
 	s.finish()
 	return s
+}
+
+// rankVec extracts a ranking's ordered top-k as structured entries — the
+// same truncation the rendered JSON applies, so diff and history describe
+// exactly what was served.
+func rankVec(r *rank.Ranking, k int) RankVec {
+	if r == nil {
+		return nil
+	}
+	entries := r.Entries
+	if k > 0 && k < len(entries) {
+		entries = entries[:k]
+	}
+	v := make(RankVec, len(entries))
+	for i, e := range entries {
+		v[i] = RankEntry{ASN: e.ASN, Value: e.Value, Name: e.Info.Name}
+	}
+	return v
+}
+
+// BuiltUnix reports when the snapshot's data was produced: assembly time
+// for built snapshots, the previous process's persist time for warm loads.
+func (s *Snapshot) BuiltUnix() int64 {
+	if !s.SavedAt.IsZero() {
+		return s.SavedAt.Unix()
+	}
+	return s.builtAt.Unix()
 }
 
 // finish seals a snapshot whose entity maps are fully populated: it derives

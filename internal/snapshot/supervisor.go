@@ -49,6 +49,8 @@ var (
 		"rebuilds that panicked (recovered; last-good snapshot kept serving)")
 	mDegradedRejects = obs.NewCounter("countryrank_rankd_degraded_rejects_total",
 		"degraded builds refused by the publish gate while a healthy snapshot was serving")
+	mDriftRejects = obs.NewCounter("countryrank_rankd_drift_rejects_total",
+		"builds refused by the drift gate (churn score over -drift-gate)")
 	mSnapAge = obs.NewFloatGauge("countryrank_rankd_snapshot_age_seconds",
 		"seconds since the served snapshot's data was built (persist time for warm-loaded snapshots)")
 )
@@ -56,6 +58,11 @@ var (
 // errDegradedRejected marks a build completion that the publish gate
 // refused; it is not a failure and does not back off.
 var errDegradedRejected = errors.New("snapshot: degraded build rejected by publish gate")
+
+// errDriftRejected marks a build whose churn exceeded the drift gate.
+// Like a degraded rejection it is not a failure: the supervisor logs,
+// counts, and waits for the next trigger without backing off.
+var errDriftRejected = errors.New("snapshot: build rejected by drift gate")
 
 // SupervisorConfig shapes the rebuild loop.
 type SupervisorConfig struct {
@@ -75,6 +82,14 @@ type SupervisorConfig struct {
 	// snapshot. Default off: degraded data only publishes into an empty
 	// store or over an already-degraded snapshot.
 	AllowDegraded bool
+	// DriftGate, when positive, refuses to publish a build whose drift
+	// churn score (Drift.MaxChurn vs the outgoing snapshot) exceeds it —
+	// an implausibly large rank shuffle is more often an ingest bug than
+	// the world changing. Treated like the degraded gate: logged, counted,
+	// no backoff, last-good snapshot keeps serving.
+	DriftGate float64
+	// AllowDrift overrides DriftGate (the gate stays computed and logged).
+	AllowDrift bool
 	// StaleAfter flips Ready to false when the served snapshot's age
 	// exceeds it; 0 disables staleness-based unreadiness.
 	StaleAfter time.Duration
@@ -123,6 +138,7 @@ type Supervisor struct {
 
 	epoch       atomic.Int64
 	publishedAt atomic.Int64 // unix nanos of the served snapshot's data time
+	lastDrift   atomic.Pointer[Drift]
 	closeOnce   sync.Once
 
 	// ageTick is overridable by tests; defaults to 1s.
@@ -175,6 +191,11 @@ func (s *Supervisor) Trigger(reason string) {
 
 // Epoch returns the last epoch the supervisor assigned to a build.
 func (s *Supervisor) Epoch() int64 { return s.epoch.Load() }
+
+// LastDrift returns the drift of the most recent publish that replaced an
+// existing snapshot (nil before the second publish, or when either side
+// lacked rank vectors).
+func (s *Supervisor) LastDrift() *Drift { return s.lastDrift.Load() }
 
 // Age returns how long ago the served snapshot's data was produced (the
 // previous process's persist time for warm-loaded snapshots). Zero when
@@ -240,7 +261,8 @@ func (s *Supervisor) run() {
 func (s *Supervisor) buildUntilPublished(reason string) {
 	for attempt := 1; ; attempt++ {
 		err := s.buildOnce(reason)
-		if err == nil || errors.Is(err, errDegradedRejected) || s.ctx.Err() != nil {
+		if err == nil || errors.Is(err, errDegradedRejected) ||
+			errors.Is(err, errDriftRejected) || s.ctx.Err() != nil {
 			return
 		}
 		d := backoffDelay(s.rng, s.cfg.baseBackoff(), s.cfg.maxBackoff(), attempt)
@@ -342,9 +364,34 @@ func (s *Supervisor) buildOnce(reason string) error {
 		}
 	}
 
-	old := s.store.Swap(next)
+	// Drift: every rollover that replaces a snapshot with rank vectors is
+	// diffed against it, and the gate (when armed) refuses an implausibly
+	// churny build the same way the degraded gate refuses lossy data.
+	drift := Diff(cur, next)
+	if drift != nil && s.cfg.DriftGate > 0 && drift.MaxChurn > s.cfg.DriftGate {
+		if s.cfg.AllowDrift {
+			slog.Warn("drift gate exceeded but overridden (-allow-drift)",
+				"reason", reason, "churn", drift.MaxChurn, "gate", s.cfg.DriftGate)
+		} else {
+			mDriftRejects.Inc()
+			s.epoch.Add(-1)
+			slog.Warn("drift gate: build rejected; last-good snapshot keeps serving",
+				"reason", reason, "churn", drift.MaxChurn, "gate", s.cfg.DriftGate,
+				"rejected_digest", shortDigest(next.Digest),
+				"serving_digest", shortDigest(cur.Digest),
+				"drift", drift.Summary())
+			return errDriftRejected
+		}
+	}
+
+	old := s.store.Publish(next, drift)
 	s.publishedAt.Store(time.Now().UnixNano())
 	s.refreshAge()
+	if drift != nil {
+		drift.Export()
+		s.lastDrift.Store(drift)
+		slog.Info("snapshot drift", "reason", reason, "summary", drift.Summary())
+	}
 	slog.Info("snapshot published", "reason", reason, "epoch", next.Epoch,
 		"digest", shortDigest(next.Digest), "degraded", next.Degraded,
 		"changed", old == nil || old.Digest != next.Digest)

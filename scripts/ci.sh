@@ -230,6 +230,12 @@ if ! wait "$loadgen_pid"; then
 fi
 cat "$rankd_dir/loadgen.out"
 
+# The serving BENCH snapshot carries the drift/history extras loadgen
+# scrapes from the server: the SIGHUP above produced one drift-computed
+# rollover and a two-epoch history ring.
+grep -q '"history_epochs"' "$rankd_dir/serving.json"
+grep -q '"drift_rollovers"' "$rankd_dir/serving.json"
+
 # The wide-event access log was written by the drainer, one JSON record per
 # request with the route class and snapshot provenance attached.
 [[ -s "$rankd_dir/access.log" ]]
@@ -385,5 +391,81 @@ require_nonzero countryrank_rankd_snapshot_saves_total
 
 kill "$crash_pid" 2>/dev/null || true
 wait "$crash_pid" 2>/dev/null || true
+
+echo '--- rankd drift smoke (seed-step rollover, drift metrics, history, rankdiff)'
+# Roll rankd between two genuinely different worlds (-seed-step bumps the
+# topogen seed per epoch), then require the whole drift layer to light up:
+# non-zero drift metrics on /metrics, a two-epoch /debug/history, a served
+# per-country history page, a drift summary in the shutdown manifest, and —
+# the live/offline agreement — a rankdiff report over the two persisted
+# generations whose churn score string-matches the live gauge.
+drift_port=$((20000 + RANDOM % 20000))
+drift_dir=$(mktemp -d)
+go build -o "$drift_dir/rankdiff" ./cmd/rankdiff
+trap 'kill "$obs_pid" "$rankd_pid" "$crash_pid" "$drift_pid" 2>/dev/null || true; rm -rf "$obs_dir" "$rankd_dir" "$crash_dir" "$drift_dir"' EXIT
+"$rankd_dir/rankd" -addr "127.0.0.1:$drift_port" -scale 0.15 -vpscale 0.2 \
+    -topn 10 -seed-step 1 -history 4 -snapshot-dir "$drift_dir/snapdir" \
+    -manifest "$drift_dir/manifest.json" >"$drift_dir/rankd.log" 2>&1 &
+drift_pid=$!
+drift_base="http://127.0.0.1:$drift_port"
+for _ in $(seq 1 120); do
+    if ! kill -0 "$drift_pid" 2>/dev/null; then
+        echo "rankd (drift run) exited before serving:" >&2
+        cat "$drift_dir/rankd.log" >&2
+        exit 1
+    fi
+    curl -fsS "$drift_base/v1/snapshot" >"$drift_dir/snap1.json" 2>/dev/null && break
+    sleep 1
+done
+drift_digest1=$(sed -n 's/.*"digest":"\([0-9a-f]*\)".*/\1/p' "$drift_dir/snap1.json")
+drift_cc=$(sed -n 's/.*"countries":\["\([A-Z][A-Z]*\)".*/\1/p' "$drift_dir/snap1.json")
+[[ -n "$drift_digest1" && -n "$drift_cc" ]]
+
+# SIGHUP rebuilds with the stepped seed: a different world, so the digest
+# must move and the rollover must produce real drift.
+kill -HUP "$drift_pid"
+for _ in $(seq 1 120); do
+    curl -fsS "$drift_base/v1/snapshot" 2>/dev/null | grep -q '"epoch":2' && break
+    sleep 1
+done
+curl -fsS "$drift_base/v1/snapshot" >"$drift_dir/snap2.json"
+grep -q '"epoch":2' "$drift_dir/snap2.json"
+if grep -q "\"digest\":\"$drift_digest1\"" "$drift_dir/snap2.json"; then
+    echo "seed-step rollover reproduced the same digest; no drift to measure" >&2
+    exit 1
+fi
+
+curl -fsS "$drift_base/metrics" >"$drift_dir/metrics.txt"
+obs_metrics="$drift_dir/metrics.txt"
+require_nonzero countryrank_drift_churn_score
+require_nonzero countryrank_drift_rollovers_total
+require_nonzero countryrank_drift_churn_score_cci
+require_nonzero countryrank_rankd_history_epochs
+live_churn=$(awk '$1 == "countryrank_drift_churn_score" { print $2 }' "$drift_dir/metrics.txt")
+
+# Both epochs appear in the debug history document and the served page.
+curl -fsS "$drift_base/debug/history" >"$drift_dir/history.json"
+grep -q '"epochs":\[1,2\]' "$drift_dir/history.json"
+grep -q '"churn_cci"' "$drift_dir/history.json"
+curl -fsS "$drift_base/v1/countries/$drift_cc/history" >"$drift_dir/cc-history.json"
+grep -q "\"country\":\"$drift_cc\"" "$drift_dir/cc-history.json"
+grep -q '"epochs":\[1,2\]' "$drift_dir/cc-history.json"
+
+# Graceful shutdown writes the manifest with the drift summary attached.
+kill "$drift_pid"
+wait "$drift_pid" 2>/dev/null || true
+grep -q '"drift_summary"' "$drift_dir/manifest.json"
+grep -q '"drift_churn_score"' "$drift_dir/manifest.json"
+
+# The offline tool over the two persisted generations must reproduce the
+# live score exactly — same diff code, same accumulation order, floats
+# persisted as raw bits.
+"$drift_dir/rankdiff" -snapshot-dir "$drift_dir/snapdir" >"$drift_dir/rankdiff.out"
+grep -q 'top movers:' "$drift_dir/rankdiff.out"
+if ! grep -qF "max churn $live_churn" "$drift_dir/rankdiff.out"; then
+    echo "rankdiff churn disagrees with live countryrank_drift_churn_score=$live_churn:" >&2
+    cat "$drift_dir/rankdiff.out" >&2
+    exit 1
+fi
 
 echo 'CI OK'
